@@ -1,0 +1,37 @@
+# Convenience targets for the uncertsched reproduction repository.
+# Everything is plain `go` underneath; the Makefile only names the
+# common invocations.
+
+GO ?= go
+
+.PHONY: all build test race cover bench figs fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/par/ ./internal/sim/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus extension experiments into out/.
+figs:
+	$(GO) run ./cmd/paperfigs -exp all -out out/
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/workload/
+	$(GO) test -fuzz=FuzzInstanceJSON -fuzztime=30s ./internal/task/
+
+clean:
+	rm -rf out/
+	$(GO) clean -testcache

@@ -1,0 +1,62 @@
+// Command advgen emits adversarial problem instances as JSON, for
+// feeding into uncertsched -in or external tooling.
+//
+// By default it builds the Theorem 1 instance (λ·m unit tasks) and —
+// unless -raw is given — plays the adversary against the chosen
+// placement algorithm: it plans the placement on estimates, inflates
+// the tasks of the most loaded machine by α and deflates the rest.
+//
+// Examples:
+//
+//	advgen -lambda 3 -m 6 -alpha 2 > instance.json
+//	advgen -lambda 10 -m 12 -alpha 1.5 -algo ls-nochoice
+//	advgen -raw -lambda 5 -m 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/algo"
+)
+
+func main() {
+	var (
+		lambda   = flag.Int("lambda", 3, "tasks per machine (λ)")
+		m        = flag.Int("m", 6, "number of machines")
+		alpha    = flag.Float64("alpha", 2, "uncertainty factor")
+		algoName = flag.String("algo", "lpt-nochoice", "placement algorithm the adversary attacks")
+		raw      = flag.Bool("raw", false, "emit the unperturbed instance (actuals = estimates)")
+	)
+	flag.Parse()
+
+	if err := run(*lambda, *m, *alpha, *algoName, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, "advgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(lambda, m int, alpha float64, algoName string, raw bool) error {
+	in, err := adversary.Theorem1Instance(lambda, m, alpha)
+	if err != nil {
+		return err
+	}
+	if !raw {
+		a, err := algo.New(algoName)
+		if err != nil {
+			return err
+		}
+		p, err := a.Place(in)
+		if err != nil {
+			return err
+		}
+		if err := adversary.Apply(in, p); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "advgen: inflated %d of %d tasks against %s\n",
+			adversary.InflatedCount(in), in.N(), a.Name())
+	}
+	return in.Write(os.Stdout)
+}

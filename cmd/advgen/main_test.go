@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunPerturbed(t *testing.T) {
+	if err := run(2, 3, 2, "lpt-nochoice", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRaw(t *testing.T) {
+	if err := run(2, 3, 2, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 3, 2, "lpt-nochoice", false); err == nil {
+		t.Error("lambda=0 accepted")
+	}
+	if err := run(2, 3, 2, "bogus", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,135 @@
+// Command memsched runs the memory-aware bi-objective algorithms
+// (SABO_Δ / ABO_Δ) on a workload or an imported CSV trace and reports
+// makespan, per-machine memory occupation, and the distance to both
+// single-objective optima.
+//
+// Examples:
+//
+//	memsched -algo sabo -delta 1 -workload spmv -n 100 -m 8
+//	memsched -algo abo -delta 0.5 -trace tasks.csv -m 8 -alpha 1.5
+//	memsched -sweep -workload mapreduce -n 200 -m 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "sabo", "sabo | abo")
+		delta    = flag.Float64("delta", 1, "Δ threshold (> 0)")
+		wlName   = flag.String("workload", "spmv", "workload generator")
+		trace    = flag.String("trace", "", "CSV trace file (task,estimate,actual,size)")
+		n        = flag.Int("n", 100, "number of tasks")
+		m        = flag.Int("m", 8, "number of machines")
+		alpha    = flag.Float64("alpha", 1.5, "uncertainty factor")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		model    = flag.String("model", "lognormal", "uncertainty model")
+		sweep    = flag.Bool("sweep", false, "sweep Δ over a grid for both algorithms")
+		exact    = flag.Bool("exact", false, "use exact reference schedules (small instances only)")
+	)
+	flag.Parse()
+
+	if err := run(*algoName, *delta, *wlName, *trace, *n, *m, *alpha, *seed,
+		*model, *sweep, *exact); err != nil {
+		fmt.Fprintln(os.Stderr, "memsched:", err)
+		os.Exit(1)
+	}
+}
+
+func loadInstance(wlName, trace string, n, m int, alpha float64, seed uint64,
+	model string) (*task.Instance, error) {
+	if trace != "" {
+		f, err := os.Open(trace)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadCSV(f, m, alpha)
+	}
+	in, err := workload.New(workload.Spec{
+		Name: wlName, N: n, M: m, Alpha: alpha, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mdl, err := uncertainty.New(model)
+	if err != nil {
+		return nil, err
+	}
+	mdl.Perturb(in, nil, rng.New(seed+1))
+	return in, nil
+}
+
+func run(algoName string, delta float64, wlName, trace string, n, m int,
+	alpha float64, seed uint64, model string, sweep, exact bool) error {
+	in, err := loadInstance(wlName, trace, n, m, alpha, seed, model)
+	if err != nil {
+		return err
+	}
+
+	if sweep {
+		tb := report.NewTable("algorithm", "delta", "makespan", "memory",
+			"makespan bound", "memory bound")
+		for _, replicate := range []bool{false, true} {
+			name := "SABO"
+			if replicate {
+				name = "ABO"
+			}
+			for _, d := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8} {
+				out, err := core.RunMemoryAware(in, core.MemoryAwareConfig{
+					Delta: d, Replicate: replicate, Exact: exact,
+				})
+				if err != nil {
+					return err
+				}
+				tb.AddRow(name, d, out.Result.Makespan, out.Result.MemMax,
+					out.MakespanRatioBound*out.OptMakespan.Upper,
+					out.MemoryRatioBound*out.OptMemory.Upper)
+			}
+		}
+		return tb.Render(os.Stdout)
+	}
+
+	var replicate bool
+	switch algoName {
+	case "sabo":
+	case "abo":
+		replicate = true
+	default:
+		return fmt.Errorf("unknown algorithm %q (want sabo or abo)", algoName)
+	}
+	out, err := core.RunMemoryAware(in, core.MemoryAwareConfig{
+		Delta: delta, Replicate: replicate, Exact: exact,
+	})
+	if err != nil {
+		return err
+	}
+	res := out.Result
+	fmt.Printf("instance : %v\n", in)
+	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	fmt.Printf("split    : %d time-intensive (S1), %d memory-intensive (S2)\n",
+		len(res.TimeIntensive), len(res.MemoryIntensive))
+	fmt.Printf("makespan : %.6g (C* in [%.6g, %.6g], ratio bound %.3g)\n",
+		res.Makespan, out.OptMakespan.Lower, out.OptMakespan.Upper, out.MakespanRatioBound)
+	fmt.Printf("memory   : %.6g (Mem* in [%.6g, %.6g], ratio bound %.3g)\n",
+		res.MemMax, out.OptMemory.Lower, out.OptMemory.Upper, out.MemoryRatioBound)
+
+	tb := report.NewTable("machine", "load", "memory")
+	loads := res.Schedule.Loads()
+	mems := res.Placement.MemoryLoads(in)
+	for i := 0; i < in.M; i++ {
+		tb.AddRow(i, loads[i], mems[i])
+	}
+	fmt.Println()
+	return tb.Render(os.Stdout)
+}

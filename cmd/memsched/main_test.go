@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSABOAndABO(t *testing.T) {
+	for _, a := range []string{"sabo", "abo"} {
+		if err := run(a, 1, "spmv", "", 20, 4, 1.5, 1, "lognormal", false, false); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run("sabo", 1, "mapreduce", "", 16, 4, 1.5, 1, "uniform", true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactSmall(t *testing.T) {
+	if err := run("abo", 2, "uniform", "", 10, 3, 1.3, 1, "uniform", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	csv := "task,estimate,actual,size\n0,5,6,2\n1,3,2.5,4\n2,4,4,1\n"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("sabo", 1, "", path, 0, 2, 1.5, 1, "uniform", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", 1, "spmv", "", 10, 2, 1.5, 1, "uniform", false, false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run("sabo", 0, "spmv", "", 10, 2, 1.5, 1, "uniform", false, false); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if err := run("sabo", 1, "", "/nonexistent.csv", 0, 2, 1.5, 1, "uniform", false, false); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run("sabo", 1, "spmv", "", 10, 2, 1.5, 1, "bogus", false, false); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command paperfigs regenerates the paper's tables and figures (plus
+// the empirical extension experiments). Reports go to stdout; with
+// -out DIR each experiment's report is also written to DIR/<id>.txt
+// and the figure data series to DIR/<id>.csv where applicable.
+//
+// Examples:
+//
+//	paperfigs -exp all
+//	paperfigs -exp fig3,fig6 -out out/
+//	paperfigs -exp e2 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id(s), comma separated, or all (ids: "+idList()+")")
+		outDir = flag.String("out", "", "also write per-experiment artifacts to this directory")
+		quick  = flag.Bool("quick", false, "reduced trial counts (for smoke tests)")
+		seed   = flag.Uint64("seed", 0, "seed offset (0 = published outputs)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if err := run(*exp, *outDir, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func idList() string {
+	s := ""
+	for i, id := range experiments.IDs() {
+		if i > 0 {
+			s += " "
+		}
+		s += id
+	}
+	return s
+}
+
+func run(exp, outDir string, opts experiments.Options) error {
+	var list []experiments.Experiment
+	if exp == "all" {
+		list = experiments.All()
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			e, err := experiments.Get(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			list = append(list, e)
+		}
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range list {
+		fmt.Printf("==================================================================\n")
+		fmt.Printf("%s — %s\n", e.ID(), e.Title())
+		fmt.Printf("==================================================================\n")
+		var w io.Writer = os.Stdout
+		var file *os.File
+		if outDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(outDir, e.ID()+".txt"))
+			if err != nil {
+				return err
+			}
+			w = io.MultiWriter(os.Stdout, file)
+		}
+		err := e.Run(w, opts)
+		if file != nil {
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID(), err)
+		}
+		if outDir != "" {
+			if err := writeCSV(e.ID(), outDir, opts); err != nil {
+				return err
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// writeCSV exports machine-readable series and SVG figures for the
+// experiments that have them.
+func writeCSV(id, outDir string, opts experiments.Options) error {
+	var gen func(io.Writer) error
+	switch id {
+	case "table1":
+		gen = experiments.Table1CSV
+	case "fig3":
+		gen = experiments.Fig3CSV
+	case "fig6":
+		gen = experiments.Fig6CSV
+	case "e1":
+		gen = func(w io.Writer) error { return experiments.E1CSV(w, opts) }
+	default:
+		return nil
+	}
+	if err := writeFile(filepath.Join(outDir, id+".csv"), gen); err != nil {
+		return err
+	}
+	switch id {
+	case "fig3":
+		for i, alpha := range experiments.Fig3Alphas() {
+			alpha := alpha
+			name := fmt.Sprintf("fig3%c.svg", 'a'+i)
+			if err := writeFile(filepath.Join(outDir, name), func(w io.Writer) error {
+				return experiments.Fig3SVG(w, alpha)
+			}); err != nil {
+				return err
+			}
+		}
+	case "fig6":
+		for i, cfg := range experiments.Table2Configs() {
+			cfg := cfg
+			name := fmt.Sprintf("fig6%c.svg", 'a'+i)
+			if err := writeFile(filepath.Join(outDir, name), func(w io.Writer) error {
+				return experiments.Fig6SVG(w, cfg)
+			}); err != nil {
+				return err
+			}
+		}
+	case "e1":
+		if err := writeFile(filepath.Join(outDir, "e1.svg"), func(w io.Writer) error {
+			return experiments.E1SVG(w, opts)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, gen func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = gen(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

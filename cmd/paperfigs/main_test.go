@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunSingleExperimentWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("fig3", dir, experiments.Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "LS-Group") {
+		t.Fatal("fig3.txt missing content")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig3.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "alpha,series,") {
+		t.Fatalf("fig3.csv header wrong: %q", strings.SplitN(string(csv), "\n", 2)[0])
+	}
+	for _, name := range []string{"fig3a.svg", "fig3b.svg", "fig3c.svg"} {
+		svg, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(svg), "</svg>") {
+			t.Fatalf("%s incomplete", name)
+		}
+	}
+}
+
+func TestRunTableCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("table1", dir, experiments.Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.csv")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArtifactDir(t *testing.T) {
+	if err := run("table2", "", experiments.Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", "", experiments.Options{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestIDListNonEmpty(t *testing.T) {
+	if ids := idList(); !strings.Contains(ids, "fig3") || !strings.Contains(ids, "table1") {
+		t.Fatalf("idList = %q", ids)
+	}
+}

@@ -1,0 +1,150 @@
+// Command sweep runs parameter sweeps over the model's knobs and
+// emits CSV, for plotting with external tools.
+//
+// Modes:
+//
+//	ratio  — guarantee curves vs replication for a list of α values
+//	         (the data behind Figure 3, for any m)
+//	memory — SABO/ABO guarantee curves vs Δ (the data behind Figure 6)
+//	emp    — measured makespan of each strategy as α sweeps, on a
+//	         random workload (end-to-end pipeline)
+//
+// Examples:
+//
+//	sweep -mode ratio -m 210 -alphas 1.1,1.5,2 > fig3.csv
+//	sweep -mode memory -m 5 -alpha2 3 -rho 1 > fig6b.csv
+//	sweep -mode emp -m 12 -n 240 -alphas 1,1.25,1.5,2,3 > emp.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "ratio", "ratio | memory | emp")
+		m      = flag.Int("m", 210, "number of machines")
+		n      = flag.Int("n", 0, "tasks (emp mode; 0 = 10·m)")
+		alphas = flag.String("alphas", "1.1,1.5,2", "comma-separated α list")
+		alpha2 = flag.Float64("alpha2", 2, "α² (memory mode)")
+		rho    = flag.Float64("rho", 4.0/3, "ρ1 = ρ2 (memory mode)")
+		trials = flag.Int("trials", 5, "trials per point (emp mode)")
+		seed   = flag.Uint64("seed", 1, "RNG seed (emp mode)")
+		wl     = flag.String("workload", "iterative", "workload generator (emp mode)")
+	)
+	flag.Parse()
+
+	if err := run(*mode, *m, *n, *alphas, *alpha2, *rho, *trials, *seed, *wl); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlphas(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad alpha %q: %w", part, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("alpha %v below 1", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty alpha list")
+	}
+	return out, nil
+}
+
+func run(mode string, m, n int, alphaList string, alpha2, rho float64,
+	trials int, seed uint64, wl string) error {
+	switch mode {
+	case "ratio":
+		alphas, err := parseAlphas(alphaList)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable("alpha", "series", "replicas", "guarantee")
+		for _, alpha := range alphas {
+			if err := bounds.Validate(m, 0, alpha); err != nil {
+				return err
+			}
+			for _, s := range bounds.RatioReplication(m, alpha) {
+				for _, pt := range s.Points {
+					tb.AddRow(alpha, s.Name, pt.X, pt.Y)
+				}
+			}
+		}
+		return tb.WriteCSV(os.Stdout)
+
+	case "memory":
+		tb := report.NewTable("series", "memory_guarantee", "makespan_guarantee")
+		deltas := bounds.DefaultDeltaGrid()
+		for _, s := range bounds.MemoryMakespan(m, alpha2, rho, rho, deltas) {
+			for _, pt := range s.Points {
+				tb.AddRow(s.Name, pt.X, pt.Y)
+			}
+		}
+		return tb.WriteCSV(os.Stdout)
+
+	case "emp":
+		alphas, err := parseAlphas(alphaList)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			n = 10 * m
+		}
+		cfgs := []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"no-replication", core.Config{Strategy: core.NoReplication}},
+			{"groups-k2", core.Config{Strategy: core.Groups, Groups: 2}},
+			{"everywhere", core.Config{Strategy: core.ReplicateEverywhere}},
+			{"oracle", core.Config{Strategy: core.Oracle}},
+		}
+		tb := report.NewTable("alpha", "strategy", "mean_makespan", "mean_ratio_ub")
+		src := rng.New(seed)
+		for _, alpha := range alphas {
+			for _, c := range cfgs {
+				var mk, ratio []float64
+				trialSrc := rng.New(src.Uint64())
+				for t := 0; t < trials; t++ {
+					in, err := workload.New(workload.Spec{
+						Name: wl, N: n, M: m, Alpha: alpha, Seed: trialSrc.Uint64(),
+					})
+					if err != nil {
+						return err
+					}
+					uncertainty.Uniform{}.Perturb(in, nil, rng.New(trialSrc.Uint64()))
+					out, err := core.Run(in, c.cfg)
+					if err != nil {
+						return err
+					}
+					mk = append(mk, out.Makespan)
+					ratio = append(ratio, out.RatioUpper)
+				}
+				tb.AddRow(alpha, c.label, stats.Summarize(mk).Mean, stats.Summarize(ratio).Mean)
+			}
+		}
+		return tb.WriteCSV(os.Stdout)
+
+	default:
+		return fmt.Errorf("unknown mode %q (want ratio, memory or emp)", mode)
+	}
+}

@@ -1,0 +1,27 @@
+// Package repro is a from-scratch Go reproduction of "Replicated Data
+// Placement for Uncertain Scheduling" (Chaubey and Saule): scheduling
+// independent tasks on identical machines when processing times are
+// known only within a multiplicative factor α, using data replication
+// decided offline (phase 1) to give an online semi-clairvoyant
+// dispatcher (phase 2) room to adapt.
+//
+// The library lives under internal/:
+//
+//   - internal/core       — public facade (strategies, Solver, scoring)
+//   - internal/algo       — LPT-No Choice, LPT-No Restriction, LS-Group, baselines
+//   - internal/memaware   — SBO_Δ, SABO_Δ, ABO_Δ bi-objective algorithms
+//   - internal/bounds     — every analytic guarantee of the paper
+//   - internal/sim        — event-driven semi-clairvoyant simulator
+//   - internal/opt        — exact/approximate offline optimum machinery
+//   - internal/adversary  — worst-case instances from the proofs
+//   - internal/workload, internal/uncertainty, internal/placement,
+//     internal/sched, internal/experiments, internal/report,
+//     internal/stats, internal/rng — supporting subsystems
+//
+// Binaries: cmd/uncertsched (run one algorithm), cmd/paperfigs
+// (regenerate every table/figure), cmd/advgen (adversarial
+// instances), cmd/sweep (parameter sweeps). Runnable examples sit in
+// examples/. The benchmarks in bench_test.go regenerate each paper
+// artifact under testing.B; see EXPERIMENTS.md for paper-vs-measured
+// notes.
+package repro

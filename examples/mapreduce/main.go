@@ -1,0 +1,85 @@
+// MapReduce reduce-stage scheduling with stragglers.
+//
+// Hadoop replicates data blocks across racks for fault tolerance
+// (White, "Hadoop: The Definitive Guide" — cited by the paper); the
+// same replicas give the scheduler freedom when reducers straggle.
+// This example models a reduce stage with Zipf-skewed partitions
+// where a subset of tasks runs far slower than estimated (hot keys,
+// slow disks), and measures how much of the straggler damage each
+// replication level absorbs.
+//
+// Run with:
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+const (
+	racks    = 4
+	perRack  = 6
+	machines = racks * perRack
+	reducers = 240
+	alpha    = 2.0 // hot keys can double a reducer; cold ones halve
+	jobs     = 20
+)
+
+func main() {
+	configs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"HDFS-like pinning (1 replica)", core.Config{Strategy: core.NoReplication}},
+		{"rack replication (k=4 racks)", core.Config{Strategy: core.Groups, Groups: racks}},
+		{"full replication", core.Config{Strategy: core.ReplicateEverywhere}},
+		{"clairvoyant oracle", core.Config{Strategy: core.Oracle}},
+	}
+
+	samples := make(map[string][]float64)
+	seeds := rng.New(2024)
+	for job := 0; job < jobs; job++ {
+		in := workload.MustNew(workload.Spec{
+			Name:  "mapreduce",
+			N:     reducers,
+			M:     machines,
+			Alpha: alpha,
+			Seed:  seeds.Uint64(),
+		})
+		// Stragglers: every factor sits at a boundary — the hot keys hit
+		// α, the rest finish early at 1/α. This is the harshest
+		// perturbation the model admits.
+		uncertainty.Extremes{}.Perturb(in, nil, rng.New(seeds.Uint64()))
+		for _, c := range configs {
+			out, err := core.Run(in, c.cfg)
+			if err != nil {
+				log.Fatalf("mapreduce: %v", err)
+			}
+			samples[c.label] = append(samples[c.label], out.RatioUpper)
+		}
+	}
+
+	tb := report.NewTable("placement", "mean C/C*", "p90 C/C*", "worst C/C*")
+	for _, c := range configs {
+		s := stats.Summarize(samples[c.label])
+		tb.AddRow(c.label, s.Mean, s.P90, s.Max)
+	}
+	fmt.Printf("Reduce stage: %d reducers on %d machines (%d racks × %d), α=%g, %d jobs.\n",
+		reducers, machines, racks, perRack, alpha, jobs)
+	fmt.Println("Ratios are measured against the offline optimum's lower bound.")
+	fmt.Println()
+	fmt.Print(tb)
+	fmt.Println()
+	fmt.Println("Reading: rack-level replication (6 replicas) absorbs most straggler")
+	fmt.Println("damage; pinning to one machine leaves the job at the mercy of the")
+	fmt.Println("slowest loaded node, exactly the gap Theorems 1-4 quantify.")
+}

@@ -1,0 +1,85 @@
+// Memory-aware replication: choosing Δ and an algorithm.
+//
+// Replication costs memory. The paper's second model treats maximum
+// per-machine memory occupation as a second objective and offers two
+// algorithms: SABO_Δ (no replication, best memory) and ABO_Δ
+// (replicates time-intensive tasks, best makespan). This example
+// sweeps Δ on an out-of-core SpMV workload, prints both measured
+// Pareto fronts, and shows how a system designer would pick a point
+// under a memory budget.
+//
+// Run with:
+//
+//	go run ./examples/memoryaware
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func main() {
+	in := workload.MustNew(workload.Spec{
+		Name:  "spmv",
+		N:     80,
+		M:     5,
+		Alpha: 1.5,
+		Seed:  33,
+	})
+	uncertainty.LogNormal{Sigma: 0.3}.Perturb(in, nil, rng.New(34))
+
+	deltas := []float64{0.125, 0.25, 0.5, 1, 2, 4, 8}
+	type row struct {
+		algo     string
+		delta    float64
+		makespan float64
+		memory   float64
+	}
+	var rows []row
+	for _, replicate := range []bool{false, true} {
+		for _, d := range deltas {
+			out, err := core.RunMemoryAware(in, core.MemoryAwareConfig{
+				Delta: d, Replicate: replicate,
+			})
+			if err != nil {
+				log.Fatalf("memoryaware: %v", err)
+			}
+			rows = append(rows, row{
+				algo:     map[bool]string{false: "SABO", true: "ABO"}[replicate],
+				delta:    d,
+				makespan: out.Result.Makespan,
+				memory:   out.Result.MemMax,
+			})
+		}
+	}
+
+	tb := report.NewTable("algorithm", "delta", "makespan", "memory/machine")
+	for _, r := range rows {
+		tb.AddRow(r.algo, r.delta, r.makespan, r.memory)
+	}
+	fmt.Printf("SpMV blocks: %d tasks, %d machines, α=%.1f.\n\n", in.N(), in.M, in.Alpha)
+	fmt.Print(tb)
+
+	// A designer with a per-machine memory budget picks the best
+	// makespan among feasible points.
+	budget := 1.4 * in.TotalSize() / float64(in.M) // 40% headroom over perfect balance
+	best := row{makespan: math.Inf(1)}
+	for _, r := range rows {
+		if r.memory <= budget && r.makespan < best.makespan {
+			best = r
+		}
+	}
+	fmt.Printf("\nMemory budget %.4g per machine → pick %s with Δ=%g "+
+		"(makespan %.4g, memory %.4g).\n", budget, best.algo, best.delta,
+		best.makespan, best.memory)
+	fmt.Println()
+	fmt.Println("Reading: small Δ favors makespan, large Δ favors memory; ABO buys")
+	fmt.Println("extra makespan with replicated compute-heavy tasks, SABO stays lean.")
+}

@@ -1,0 +1,100 @@
+// Out-of-core iterative solver: the paper's motivating scenario.
+//
+// An out-of-core sparse solver sweeps the same matrix partitions many
+// times (Zhou et al., the paper's citation [Zhou12]); moving a
+// partition mid-run is prohibitively expensive, so the data placement
+// is decided once and each sweep re-schedules the same tasks with
+// fresh, slightly different runtimes (cache state, I/O contention).
+//
+// Replication pays its memory cost once but helps on *every* sweep —
+// this example measures that amortization over 25 sweeps.
+//
+// Run with:
+//
+//	go run ./examples/outofcore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+const (
+	machines = 16
+	tasks    = 160
+	alpha    = 1.6
+	sweeps   = 25
+)
+
+func main() {
+	// Matrix partitions were balanced offline, so estimates cluster
+	// tightly — but actual sweep times wobble with I/O contention.
+	base := workload.MustNew(workload.Spec{
+		Name:  "iterative",
+		N:     tasks,
+		M:     machines,
+		Alpha: alpha,
+		Seed:  11,
+	})
+
+	configs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"no replication", core.Config{Strategy: core.NoReplication}},
+		{"2 replicas (k=8 groups)", core.Config{Strategy: core.Groups, Groups: 8}},
+		{"4 replicas (k=4 groups)", core.Config{Strategy: core.Groups, Groups: 4}},
+		{"replicate everywhere", core.Config{Strategy: core.ReplicateEverywhere}},
+	}
+
+	tb := report.NewTable("placement", "replicas", "memory/machine",
+		"total runtime", "mean sweep", "p90 sweep", "vs no-repl")
+	var baseline float64
+	for ci, c := range configs {
+		// Phase 1 happens once, before the first sweep.
+		plan, err := core.NewPlan(base, c.cfg)
+		if err != nil {
+			log.Fatalf("outofcore: %v", err)
+		}
+		// The same noise stream for every placement, so the comparison
+		// sees identical sweep-time realizations.
+		noise := rng.New(4242)
+
+		var sweepTimes []float64
+		total := 0.0
+		for s := 0; s < sweeps; s++ {
+			in := base.Clone()
+			uncertainty.LogNormal{Sigma: 0.35}.Perturb(in, nil, noise.Split())
+			out, err := plan.Execute(in)
+			if err != nil {
+				log.Fatalf("outofcore: sweep %d: %v", s, err)
+			}
+			sweepTimes = append(sweepTimes, out.Makespan)
+			total += out.Makespan
+		}
+		if ci == 0 {
+			baseline = total
+		}
+		sum := stats.Summarize(sweepTimes)
+		memPerMachine := plan.Placement.MaxMemory(base)
+		tb.AddRow(c.label, plan.Placement.MaxReplication(), memPerMachine,
+			total, sum.Mean, sum.P90, fmt.Sprintf("%.1f%%", 100*total/baseline))
+	}
+
+	fmt.Printf("Out-of-core solver: %d partitions on %d machines, α=%.1f, %d sweeps.\n",
+		tasks, machines, alpha, sweeps)
+	fmt.Println("Placement is decided once; every sweep re-schedules online.")
+	fmt.Println()
+	fmt.Print(tb)
+	fmt.Println()
+	fmt.Println("Reading: each extra replica buys makespan on every sweep for a")
+	fmt.Println("one-time memory cost — the amortization argument of the paper's")
+	fmt.Println("introduction.")
+}

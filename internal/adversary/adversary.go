@@ -1,0 +1,116 @@
+// Package adversary constructs the worst-case instances used in the
+// paper's proofs, so the experiments can measure how close each
+// algorithm's empirical competitive ratio comes to its analytic bound.
+//
+// The central construction is the Theorem 1 adversary: λ·m tasks of
+// estimated time 1. After observing the phase-1 placement, the
+// adversary multiplies the processing times of the tasks on the most
+// loaded machine by α and divides everything else by α. The blind
+// schedule then pays α·B (B = tasks on that machine) while an
+// offline optimum can redistribute, giving the ratio
+// α²m/(α²+m−1) in the λ→∞ limit.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/placement"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+)
+
+// Theorem1Instance returns the proof's instance: λ·m unit-estimate
+// tasks on m machines with uncertainty factor α. Actual times start
+// equal to the estimates; call Apply (after phase 1) to let the
+// adversary set them.
+func Theorem1Instance(lambda, m int, alpha float64) (*task.Instance, error) {
+	if lambda < 1 || m < 1 {
+		return nil, fmt.Errorf("adversary: lambda and m must be positive, got %d, %d", lambda, m)
+	}
+	est := make([]float64, lambda*m)
+	for i := range est {
+		est[i] = 1
+	}
+	return task.NewEstimated(m, alpha, est)
+}
+
+// Apply perturbs the instance the way the Theorem 1 adversary does,
+// given the algorithm's phase-1 placement: tasks whose (single or
+// first-choice) machine is the most estimated-loaded machine are
+// inflated by α, all others deflated by 1/α. For replicated
+// placements the "preferred" machine of a task is the lowest-indexed
+// machine of its replica set, which matches the deterministic
+// dispatcher's first choice for uniform instances.
+func Apply(in *task.Instance, p *placement.Placement) error {
+	if p.N() != in.N() {
+		return fmt.Errorf("adversary: placement covers %d tasks, instance has %d", p.N(), in.N())
+	}
+	pref := make([]int, in.N())
+	for j, set := range p.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("adversary: task %d has no replicas", j)
+		}
+		pref[j] = set[0]
+	}
+	uncertainty.LoadedMachineAdversary{}.Perturb(in,
+		&uncertainty.Context{Preferred: pref, M: in.M}, nil)
+	return nil
+}
+
+// ApplyToGroups perturbs a group placement: the adversary inflates
+// every task assigned to the group with the largest estimated load
+// and deflates the rest, the worst case of Theorem 4's analysis.
+func ApplyToGroups(in *task.Instance, p *placement.Placement) error {
+	if p.Groups == nil || len(p.GroupOf) != in.N() {
+		return fmt.Errorf("adversary: placement has no group structure")
+	}
+	loads := make([]float64, len(p.Groups))
+	for j, g := range p.GroupOf {
+		loads[g] += in.Tasks[j].Estimate
+	}
+	worst := 0
+	for g := 1; g < len(loads); g++ {
+		if loads[g] > loads[worst] {
+			worst = g
+		}
+	}
+	for j := range in.Tasks {
+		if p.GroupOf[j] == worst {
+			in.Tasks[j].Actual = in.Tasks[j].Estimate * in.Alpha
+		} else {
+			in.Tasks[j].Actual = in.Tasks[j].Estimate / in.Alpha
+		}
+	}
+	return nil
+}
+
+// Theorem1OptimalUpper returns the proof's upper bound on the offline
+// optimum for the Theorem 1 instance after the adversary inflated B
+// unit tasks: C* ≤ ⌈(λm−B)/m⌉/α + α·⌈B/m⌉ (distribute both classes
+// evenly).
+func Theorem1OptimalUpper(lambda, m, b int, alpha float64) float64 {
+	total := lambda * m
+	short := total - b
+	return math.Ceil(float64(short)/float64(m))/alpha +
+		alpha*math.Ceil(float64(b)/float64(m))
+}
+
+// Theorem1Ratio returns the competitive-ratio lower bound the
+// adversary certifies for a blind schedule that put B unit tasks on
+// one machine: (α·B) / Theorem1OptimalUpper.
+func Theorem1Ratio(lambda, m, b int, alpha float64) float64 {
+	return alpha * float64(b) / Theorem1OptimalUpper(lambda, m, b, alpha)
+}
+
+// InflatedCount returns how many tasks the adversary inflated (their
+// actual exceeds their estimate).
+func InflatedCount(in *task.Instance) int {
+	n := 0
+	for _, t := range in.Tasks {
+		if t.Actual > t.Estimate {
+			n++
+		}
+	}
+	return n
+}

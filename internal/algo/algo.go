@@ -1,0 +1,132 @@
+// Package algo implements the paper's two-phase scheduling algorithms
+// for the replication-bound model, plus the classical baselines they
+// are measured against:
+//
+//   - LPT-No Choice (§4, strategy 1): phase 1 places each task's data
+//     on a single machine by LPT over the estimates; phase 2 has no
+//     freedom. Competitive ratio 2α²m/(2α²+m−1) (Theorem 2).
+//   - LPT-No Restriction (§5, strategy 2): phase 1 replicates every
+//     task everywhere; phase 2 runs online LPT on estimates.
+//     Competitive ratio 1 + (m−1)/m · α²/2 (Theorem 3), and also
+//     2 − 1/m by the List Scheduling guarantee.
+//   - LS-Group (§6, strategy 3): machines are partitioned into k
+//     groups; phase 1 list-schedules tasks onto groups by estimated
+//     load; phase 2 list-schedules online within each group.
+//     Competitive ratio kα²/(α²+k−1)·(1+(k−1)/m) + (m−k)/m (Theorem 4).
+//   - LPT-Group: the LPT-based variant of LS-Group the paper discusses
+//     (sorting tasks by estimate in both phases); included to measure
+//     the paper's conjecture that it would not improve the guarantee
+//     much.
+//   - LS-No Choice and LS-No Restriction: Graham List Scheduling
+//     baselines without/with full replication.
+//
+// Every algorithm is split into the paper's two phases. Place consumes
+// only estimated processing times. Order exposes the phase-2 priority
+// list (also estimate-only); Execute wires both into the
+// semi-clairvoyant simulator.
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// Algorithm is a two-phase scheduling algorithm for the
+// replication-bound model.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Place computes the phase-1 data placement from estimates only.
+	Place(in *task.Instance) (*placement.Placement, error)
+	// Order returns the phase-2 dispatch priority (task IDs, highest
+	// priority first), computed from estimates only.
+	Order(in *task.Instance) []int
+}
+
+// Result is the outcome of executing an algorithm on an instance.
+type Result struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Placement is the phase-1 decision.
+	Placement *placement.Placement
+	// Schedule is the executed phase-2 schedule.
+	Schedule *sched.Schedule
+	// Makespan is Schedule.Makespan().
+	Makespan float64
+}
+
+// Execute runs both phases of the algorithm on the instance and
+// verifies the resulting schedule against the placement.
+func Execute(in *task.Instance, a Algorithm) (*Result, error) {
+	p, err := a.Place(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: phase 1: %w", a.Name(), err)
+	}
+	if err := p.Validate(in); err != nil {
+		return nil, fmt.Errorf("%s: invalid placement: %w", a.Name(), err)
+	}
+	d, err := sim.NewListDispatcher(p, a.Order(in))
+	if err != nil {
+		return nil, fmt.Errorf("%s: phase 2: %w", a.Name(), err)
+	}
+	res, err := sim.Run(in, d, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: simulation: %w", a.Name(), err)
+	}
+	if err := res.Schedule.Verify(in, p); err != nil {
+		return nil, fmt.Errorf("%s: infeasible schedule: %w", a.Name(), err)
+	}
+	return &Result{
+		Algorithm: a.Name(),
+		Placement: p,
+		Schedule:  res.Schedule,
+		Makespan:  res.Schedule.Makespan(),
+	}, nil
+}
+
+// lptOrder returns task IDs sorted by non-increasing estimate, ties
+// broken by ID for determinism.
+func lptOrder(in *task.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+	})
+	return order
+}
+
+// listOrder returns task IDs in input order (Graham's list order).
+func listOrder(in *task.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// minLoadPlacement assigns tasks (visited in the given order) to the
+// machine with the least accumulated estimated load, returning
+// singleton replica sets. This is List Scheduling on estimates; with
+// order = lptOrder it is LPT on estimates.
+func minLoadPlacement(in *task.Instance, order []int) *placement.Placement {
+	p := placement.New(in.N(), in.M)
+	loads := make([]float64, in.M)
+	for _, j := range order {
+		best := 0
+		for i := 1; i < in.M; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		p.Assign(j, best)
+		loads[best] += in.Tasks[j].Estimate
+	}
+	return p
+}

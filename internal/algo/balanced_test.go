@@ -1,0 +1,117 @@
+package algo
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func TestPartitionGroupsBalancedSizes(t *testing.T) {
+	groups, err := placement.PartitionGroupsBalanced(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{len(groups[0]), len(groups[1]), len(groups[2])}
+	if sizes[0] != 3 || sizes[1] != 2 || sizes[2] != 2 {
+		t.Fatalf("sizes = %v, want [3 2 2]", sizes)
+	}
+	// Contiguous coverage of all machines exactly once.
+	seen := make([]bool, 7)
+	for _, g := range groups {
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("machine %d in two groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("machine %d uncovered", i)
+		}
+	}
+}
+
+func TestPartitionGroupsBalancedRejectsBadK(t *testing.T) {
+	if _, err := placement.PartitionGroupsBalanced(5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := placement.PartitionGroupsBalanced(5, 6); err == nil {
+		t.Error("k>m accepted")
+	}
+}
+
+func TestLSGroupBalancedMatchesLSGroupWhenDivisible(t *testing.T) {
+	in := workload.MustNew(workload.Spec{Name: "uniform", N: 40, M: 6, Alpha: 1.5, Seed: 3})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(4))
+	a, err := Execute(in, LSGroup(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(in, LSGroupBalanced(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("balanced %v != strict %v for divisible k", b.Makespan, a.Makespan)
+	}
+}
+
+func TestLSGroupBalancedAcceptsNonDivisorK(t *testing.T) {
+	in := workload.MustNew(workload.Spec{Name: "uniform", N: 42, M: 7, Alpha: 1.5, Seed: 5})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(6))
+	// k=3 with m=7: strict LS-Group rejects, balanced accepts.
+	if _, err := Execute(in, LSGroup(3)); err == nil {
+		t.Fatal("strict LS-Group accepted non-divisor k")
+	}
+	res, err := Execute(in, LSGroupBalanced(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	// Replication degree equals the largest group size ⌈m/k⌉ = 3.
+	if got := res.Placement.MaxReplication(); got != 3 {
+		t.Fatalf("max replication %d, want 3", got)
+	}
+}
+
+func TestLSGroupBalancedFullSweep(t *testing.T) {
+	// Every k from 1 to m must work; makespan trend should improve
+	// (non-strictly, on average) as k decreases.
+	in := workload.MustNew(workload.Spec{Name: "iterative", N: 70, M: 7, Alpha: 2, Seed: 9})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(10))
+	var first, last float64
+	for k := 1; k <= 7; k++ {
+		res, err := Execute(in, LSGroupBalanced(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if k == 1 {
+			first = res.Makespan
+		}
+		if k == 7 {
+			last = res.Makespan
+		}
+	}
+	if first > last {
+		t.Fatalf("full replication (%v) worse than none (%v)", first, last)
+	}
+}
+
+func TestRegistryBalanced(t *testing.T) {
+	a, err := New("ls-group-balanced:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "LS-GroupBalanced(k=4)" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	if _, err := New("ls-group-balanced:0"); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

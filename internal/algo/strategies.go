@@ -1,0 +1,182 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/task"
+)
+
+// lptNoChoice is strategy 1 of the paper.
+type lptNoChoice struct{}
+
+// LPTNoChoice returns the paper's LPT-No Choice algorithm: LPT
+// placement on estimates, no replication, no phase-2 freedom.
+func LPTNoChoice() Algorithm { return lptNoChoice{} }
+
+func (lptNoChoice) Name() string { return "LPT-NoChoice" }
+
+func (lptNoChoice) Place(in *task.Instance) (*placement.Placement, error) {
+	return minLoadPlacement(in, lptOrder(in)), nil
+}
+
+// Order is irrelevant for singleton replica sets (each machine simply
+// drains its own queue), but LPT order keeps traces intuitive.
+func (lptNoChoice) Order(in *task.Instance) []int { return lptOrder(in) }
+
+// lsNoChoice is the List Scheduling baseline without replication.
+type lsNoChoice struct{}
+
+// LSNoChoice returns a no-replication baseline that places tasks in
+// input order on the least-loaded machine (List Scheduling on
+// estimates).
+func LSNoChoice() Algorithm { return lsNoChoice{} }
+
+func (lsNoChoice) Name() string { return "LS-NoChoice" }
+
+func (lsNoChoice) Place(in *task.Instance) (*placement.Placement, error) {
+	return minLoadPlacement(in, listOrder(in)), nil
+}
+
+func (lsNoChoice) Order(in *task.Instance) []int { return listOrder(in) }
+
+// lptNoRestriction is strategy 2 of the paper.
+type lptNoRestriction struct{}
+
+// LPTNoRestriction returns the paper's LPT-No Restriction algorithm:
+// full replication in phase 1, online LPT on estimates in phase 2.
+func LPTNoRestriction() Algorithm { return lptNoRestriction{} }
+
+func (lptNoRestriction) Name() string { return "LPT-NoRestriction" }
+
+func (lptNoRestriction) Place(in *task.Instance) (*placement.Placement, error) {
+	return placement.Everywhere(in.N(), in.M), nil
+}
+
+func (lptNoRestriction) Order(in *task.Instance) []int { return lptOrder(in) }
+
+// lsNoRestriction is Graham's online List Scheduling with full
+// replication: the 2−1/m baseline.
+type lsNoRestriction struct{}
+
+// LSNoRestriction returns Graham's List Scheduling over fully
+// replicated data: tasks in input order, first idle machine.
+func LSNoRestriction() Algorithm { return lsNoRestriction{} }
+
+func (lsNoRestriction) Name() string { return "LS-NoRestriction" }
+
+func (lsNoRestriction) Place(in *task.Instance) (*placement.Placement, error) {
+	return placement.Everywhere(in.N(), in.M), nil
+}
+
+func (lsNoRestriction) Order(in *task.Instance) []int { return listOrder(in) }
+
+// group implements strategy 3 (and its LPT and balanced variants).
+type group struct {
+	k        int
+	lpt      bool
+	balanced bool
+}
+
+// LSGroup returns the paper's LS-Group algorithm with k groups of m/k
+// machines: phase 1 list-schedules tasks onto groups by estimated
+// group load; phase 2 list-schedules online within each group. k must
+// divide m at Place time.
+func LSGroup(k int) Algorithm { return group{k: k} }
+
+// LPTGroup is the LPT-based variant of LS-Group the paper mentions:
+// both phases process tasks in non-increasing estimate order.
+func LPTGroup(k int) Algorithm { return group{k: k, lpt: true} }
+
+// LSGroupBalanced generalizes LS-Group to any k ≤ m by allowing group
+// sizes to differ by one machine — lifting the paper's "k divides m"
+// simplification. Theorem 4's guarantee formula applies verbatim only
+// to the divisible case; for unequal groups it holds with m/k replaced
+// by the smallest group size (the phase-2 List Scheduling step only
+// weakens).
+func LSGroupBalanced(k int) Algorithm { return group{k: k, balanced: true} }
+
+func (g group) Name() string {
+	switch {
+	case g.lpt:
+		return fmt.Sprintf("LPT-Group(k=%d)", g.k)
+	case g.balanced:
+		return fmt.Sprintf("LS-GroupBalanced(k=%d)", g.k)
+	default:
+		return fmt.Sprintf("LS-Group(k=%d)", g.k)
+	}
+}
+
+func (g group) Order(in *task.Instance) []int {
+	if g.lpt {
+		return lptOrder(in)
+	}
+	return listOrder(in)
+}
+
+func (g group) Place(in *task.Instance) (*placement.Placement, error) {
+	partition := placement.PartitionGroups
+	if g.balanced {
+		partition = placement.PartitionGroupsBalanced
+	}
+	groups, err := partition(in.M, g.k)
+	if err != nil {
+		return nil, err
+	}
+	p := placement.New(in.N(), in.M)
+	p.Groups = groups
+	p.GroupOf = make([]int, in.N())
+	loads := make([]float64, g.k)
+	for _, j := range g.Order(in) {
+		best := 0
+		for gi := 1; gi < g.k; gi++ {
+			if loads[gi] < loads[best] {
+				best = gi
+			}
+		}
+		p.GroupOf[j] = best
+		p.AssignSet(j, groups[best])
+		loads[best] += in.Tasks[j].Estimate
+	}
+	return p, nil
+}
+
+// oracleLPT is a clairvoyant baseline: LPT on the *actual* times. It
+// breaks the semi-clairvoyant rules on purpose, providing the
+// "if we had known" reference the paper's adversary argument compares
+// against.
+type oracleLPT struct{}
+
+// OracleLPT returns the clairvoyant LPT baseline (places by actual
+// processing times; full information). Use only as a reference point.
+func OracleLPT() Algorithm { return oracleLPT{} }
+
+func (oracleLPT) Name() string { return "Oracle-LPT" }
+
+func (oracleLPT) Place(in *task.Instance) (*placement.Placement, error) {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by actual time, not estimate: this baseline is omniscient.
+	tasks := in.Tasks
+	sort.SliceStable(order, func(a, b int) bool {
+		return tasks[order[a]].Actual > tasks[order[b]].Actual
+	})
+	p := placement.New(in.N(), in.M)
+	loads := make([]float64, in.M)
+	for _, j := range order {
+		best := 0
+		for i := 1; i < in.M; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		p.Assign(j, best)
+		loads[best] += tasks[j].Actual
+	}
+	return p, nil
+}
+
+func (oracleLPT) Order(in *task.Instance) []int { return lptOrder(in) }

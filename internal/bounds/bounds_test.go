@@ -1,0 +1,334 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func closeTo(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestTheorem1Values(t *testing.T) {
+	// α=1: no uncertainty, bound degenerates to m/m = 1.
+	if got := LowerBoundNoReplication(10, 1); !closeTo(got, 1) {
+		t.Errorf("alpha=1 lower bound = %v, want 1", got)
+	}
+	// α=2, m=6: 4*6/(4+5) = 24/9.
+	if got := LowerBoundNoReplication(6, 2); !closeTo(got, 24.0/9) {
+		t.Errorf("lower bound = %v, want %v", got, 24.0/9)
+	}
+	// m=1: single machine, every schedule identical → ratio 1.
+	if got := LowerBoundNoReplication(1, 3); !closeTo(got, 1) {
+		t.Errorf("m=1 lower bound = %v, want 1", got)
+	}
+}
+
+func TestTheorem1Limit(t *testing.T) {
+	alpha := 1.7
+	limit := LowerBoundNoReplicationLimit(alpha)
+	if !closeTo(limit, alpha*alpha) {
+		t.Fatalf("limit = %v, want α²", limit)
+	}
+	if got := LowerBoundNoReplication(1_000_000, alpha); math.Abs(got-limit) > 1e-4 {
+		t.Fatalf("large-m bound %v far from limit %v", got, limit)
+	}
+}
+
+func TestTheorem2Values(t *testing.T) {
+	// α=2, m=6: 2*4*6/(8+5) = 48/13.
+	if got := LPTNoChoice(6, 2); !closeTo(got, 48.0/13) {
+		t.Errorf("LPT-NoChoice bound = %v, want %v", got, 48.0/13)
+	}
+	// α=1 does NOT give 1: LPT with exact estimates still only
+	// guarantees 2m/(m+1) by this analysis.
+	if got := LPTNoChoice(3, 1); !closeTo(got, 6.0/4) {
+		t.Errorf("alpha=1 LPT-NoChoice bound = %v, want 1.5", got)
+	}
+}
+
+func TestTheorem2AboveTheorem1(t *testing.T) {
+	// Upper bound must dominate the impossibility bound.
+	f := func(mRaw uint8, aRaw uint8) bool {
+		m := int(mRaw%100) + 1
+		alpha := 1 + float64(aRaw)/64
+		return LPTNoChoice(m, alpha) >= LowerBoundNoReplication(m, alpha)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem3Values(t *testing.T) {
+	// α=1, m→∞: 1 + 1/2 = 1.5.
+	if got := LPTNoRestrictionTheorem(1000, 1); math.Abs(got-1.4995) > 1e-9 {
+		t.Errorf("theorem3 = %v, want 1.4995", got)
+	}
+	// Effective bound caps at Graham for large α.
+	if got := LPTNoRestriction(4, 3); !closeTo(got, GrahamLS(4)) {
+		t.Errorf("effective bound = %v, want Graham %v", got, GrahamLS(4))
+	}
+	// Small α: theorem bound is the better one (α² < 2).
+	if got := LPTNoRestriction(4, 1.2); !closeTo(got, LPTNoRestrictionTheorem(4, 1.2)) {
+		t.Errorf("effective bound = %v, want theorem %v", got, LPTNoRestrictionTheorem(4, 1.2))
+	}
+}
+
+func TestGrahamAndLPTOffline(t *testing.T) {
+	if got := GrahamLS(4); !closeTo(got, 1.75) {
+		t.Errorf("GrahamLS(4) = %v", got)
+	}
+	if got := LPTOffline(3); !closeTo(got, 4.0/3-1.0/9) {
+		t.Errorf("LPTOffline(3) = %v", got)
+	}
+}
+
+func TestTheorem4Endpoints(t *testing.T) {
+	m, alpha := 210, 1.5
+	// k=1 (one group = full replication): kα²/(α²+0)·(1+0) + (m−1)/m
+	// = 1 + (m−1)/m... wait: 1·α²/α²·1 + (m−1)/m = 1 + (m−1)/m.
+	if got := LSGroup(m, 1, alpha); !closeTo(got, 1+float64(m-1)/float64(m)) {
+		t.Errorf("LSGroup k=1 = %v, want %v", got, 1+float64(m-1)/float64(m))
+	}
+	// k=m (no replication): mα²/(α²+m−1)·(1+(m−1)/m) + 0.
+	a2 := alpha * alpha
+	mf := float64(m)
+	want := mf * a2 / (a2 + mf - 1) * (1 + (mf-1)/mf)
+	if got := LSGroup(m, m, alpha); !closeTo(got, want) {
+		t.Errorf("LSGroup k=m = %v, want %v", got, want)
+	}
+	// The paper: at k=m the LS-Group guarantee is close to twice the
+	// Theorem 1 lower bound (i.e. near LPT-NoChoice's for large m).
+	lb := LowerBoundNoReplication(m, alpha)
+	if got := LSGroup(m, m, alpha); math.Abs(got-2*lb*(1+(mf-1)/mf)/2) > 0.1*got {
+		t.Logf("informational: LSGroup(m)=%v vs 2*LB=%v", got, 2*lb)
+	}
+}
+
+func TestTheorem4MonotoneInK(t *testing.T) {
+	// More groups = fewer replicas = weaker guarantee. Verify the
+	// guarantee increases with k for the paper's m=210 figure across
+	// all three α values.
+	for _, alpha := range []float64{1.1, 1.5, 2} {
+		prev := 0.0
+		for _, k := range Divisors(210) {
+			got := LSGroup(210, k, alpha)
+			if got < prev-1e-9 {
+				t.Errorf("alpha=%v: guarantee dropped at k=%d: %v < %v", alpha, k, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestCommentedCorollaryK2(t *testing.T) {
+	// The paper's source contains a commented-out corollary: "When
+	// there are 2 groups, the competitive ratio is
+	// 1 + 2/(1+α²)·(α²−1/m)". Verify it is algebraically identical to
+	// Theorem 4 at k=2 (which is why the authors could drop it).
+	f := func(mRaw, aRaw uint8) bool {
+		m := 2 * (int(mRaw%100) + 1) // even so k=2 divides m
+		alpha := 1 + float64(aRaw)/64
+		a2 := alpha * alpha
+		corollary := 1 + 2/(1+a2)*(a2-1/float64(m))
+		return math.Abs(LSGroup(m, 2, alpha)-corollary) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryAwareFormulas(t *testing.T) {
+	// Spot values at Δ=1, α²=2, ρ1=ρ2=1, m=5.
+	alpha := math.Sqrt2
+	if got := SABOMakespan(alpha, 1, 1); !closeTo(got, 4) {
+		t.Errorf("SABO makespan = %v, want 4", got)
+	}
+	if got := SABOMemory(1, 1); !closeTo(got, 2) {
+		t.Errorf("SABO memory = %v, want 2", got)
+	}
+	if got := ABOMakespan(5, alpha, 1, 1); !closeTo(got, 2-0.2+2) {
+		t.Errorf("ABO makespan = %v, want 3.8", got)
+	}
+	if got := ABOMemory(5, 1, 1); !closeTo(got, 6) {
+		t.Errorf("ABO memory = %v, want 6", got)
+	}
+}
+
+func TestABOBeatsSABOOnMakespanWhenAlphaRhoLarge(t *testing.T) {
+	// Paper: for αρ1 ≥ 2, ABO always has the better makespan
+	// guarantee. Check on a Δ grid with α²=3 (α≈1.73), ρ1=4/3:
+	// αρ1 ≈ 2.31 ≥ 2.
+	alpha := math.Sqrt(3)
+	rho1 := 4.0 / 3
+	for _, d := range DefaultDeltaGrid() {
+		sabo := SABOMakespan(alpha, d, rho1)
+		abo := ABOMakespan(5, alpha, d, rho1)
+		if abo > sabo+1e-9 {
+			t.Errorf("Δ=%v: ABO %v worse than SABO %v despite αρ1>=2", d, abo, sabo)
+		}
+	}
+}
+
+func TestSABOBeatsABOOnMemoryAlways(t *testing.T) {
+	for _, d := range DefaultDeltaGrid() {
+		for _, m := range []int{2, 5, 50} {
+			if SABOMemory(d, 1) > ABOMemory(m, d, 1)+1e-12 {
+				t.Errorf("m=%d Δ=%v: SABO memory worse than ABO", m, d)
+			}
+		}
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(210)
+	want := []int{1, 2, 3, 5, 6, 7, 10, 14, 15, 21, 30, 35, 42, 70, 105, 210}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(210) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(210) = %v", got)
+		}
+	}
+}
+
+func TestRatioReplicationShape(t *testing.T) {
+	series := RatioReplication(210, 2)
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	group, ok := byName["LS-Group"]
+	if !ok {
+		t.Fatal("missing LS-Group series")
+	}
+	if len(group.Points) != len(Divisors(210)) {
+		t.Fatalf("LS-Group has %d points", len(group.Points))
+	}
+	// Guarantee must decrease as replication (X) increases.
+	for i := 1; i < len(group.Points); i++ {
+		if group.Points[i].Y > group.Points[i-1].Y+1e-9 {
+			t.Fatalf("LS-Group guarantee not decreasing in replication at %d", i)
+		}
+	}
+	// Paper's α=2 observation: fewer than 50 replicas already beat the
+	// no-replication *lower bound*.
+	lb := byName["LowerBound"].Points[0].Y
+	crossed := false
+	for _, pt := range group.Points {
+		if pt.X < 50 && pt.Y < lb {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatal("α=2: LS-Group never beats the no-replication lower bound below 50 replicas")
+	}
+	// And the ratio improves from >7.5 at 1 replica to <6 at 3
+	// replicas (the paper's concrete numbers).
+	var at1, at3 float64
+	for _, pt := range group.Points {
+		if pt.X == 1 {
+			at1 = pt.Y
+		}
+		if pt.X == 3 {
+			at3 = pt.Y
+		}
+	}
+	if at1 <= 7.5 {
+		t.Errorf("guarantee at 1 replica = %v, paper says > 7.5", at1)
+	}
+	if at3 >= 6 {
+		t.Errorf("guarantee at 3 replicas = %v, paper says < 6", at3)
+	}
+}
+
+func TestRatioReplicationAlphaSmallIsFlat(t *testing.T) {
+	// Paper (α=1.1): LS-Group provides little improvement over
+	// LPT-NoChoice — the curve's total drop is small in absolute terms.
+	series := RatioReplication(210, 1.1)
+	var group Series
+	for _, s := range series {
+		if s.Name == "LS-Group" {
+			group = s
+		}
+	}
+	drop := group.Points[0].Y - group.Points[len(group.Points)-1].Y
+	if drop > 1.3 {
+		t.Fatalf("α=1.1 LS-Group drop %v unexpectedly large", drop)
+	}
+}
+
+func TestMemoryMakespanSeries(t *testing.T) {
+	series := MemoryMakespan(5, 3, 1, 1, nil)
+	if len(series) != 3 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		// Tradeoff curves: makespan guarantee decreases as memory
+		// guarantee increases.
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].X < s.Points[i-1].X {
+				t.Fatalf("series %s not sorted by X", s.Name)
+			}
+			if s.Points[i].Y > s.Points[i-1].Y+1e-9 {
+				t.Fatalf("series %s not a tradeoff (Y rises with X)", s.Name)
+			}
+		}
+	}
+}
+
+func TestImpossibilityDominatesAlgorithms(t *testing.T) {
+	// Every SABO/ABO point must lie on or above the impossibility
+	// frontier: makespan ≥ 1 + 1/(mem − 1).
+	series := MemoryMakespan(5, 2, 4.0/3, 4.0/3, nil)
+	for _, s := range series {
+		if s.Name == "Impossibility" {
+			continue
+		}
+		for _, pt := range s.Points {
+			if pt.X <= 1 {
+				continue
+			}
+			frontier := 1 + 1/(pt.X-1)
+			if pt.Y < frontier-1e-9 {
+				t.Fatalf("%s point (%v, %v) below impossibility frontier %v",
+					s.Name, pt.X, pt.Y, frontier)
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(6, 3, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(0, 0, 1.5); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if err := Validate(6, 0, 0.5); err == nil {
+		t.Error("alpha<1 accepted")
+	}
+	if err := Validate(6, 4, 1.5); err == nil {
+		t.Error("non-divisor k accepted")
+	}
+	if err := Validate(6, 7, 1.5); err == nil {
+		t.Error("k>m accepted")
+	}
+}
+
+func TestGroupBoundBracketsEndpoints(t *testing.T) {
+	// Sanity links between the three strategies' formulas:
+	// LSGroup(k=1) should be at most Graham+1-ish and LSGroup(k=m)
+	// close to the no-choice regime; in particular the k=1 guarantee
+	// must be below the k=m guarantee for α where replication helps.
+	f := func(aRaw uint8) bool {
+		alpha := 1.2 + float64(aRaw%20)/10
+		return LSGroup(210, 1, alpha) <= LSGroup(210, 210, alpha)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

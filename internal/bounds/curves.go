@@ -1,0 +1,109 @@
+package bounds
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one (X, Y) sample of a guarantee curve.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named guarantee curve.
+type Series struct {
+	// Name labels the curve in plots and CSV headers.
+	Name string
+	// Points are the samples, in increasing X.
+	Points []Point
+}
+
+// Divisors returns the positive divisors of m in increasing order.
+func Divisors(m int) []int {
+	var ds []int
+	for d := 1; d*d <= m; d++ {
+		if m%d == 0 {
+			ds = append(ds, d)
+			if d != m/d {
+				ds = append(ds, m/d)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// RatioReplication builds the data of the paper's Figure 3 for one α:
+// guarantee (Y) versus replicas per task |M_j| = m/k (X, log-ish
+// axis), for m machines. Returned series:
+//
+//   - "LS-Group":           one point per divisor k of m, X = m/k
+//   - "LPT-NoChoice":       single point at X = 1 (Theorem 2)
+//   - "LowerBound":         single point at X = 1 (Theorem 1)
+//   - "LPT-NoRestriction":  single point at X = m (Theorem 3)
+//   - "Graham-LS":          single point at X = m (2 − 1/m)
+func RatioReplication(m int, alpha float64) []Series {
+	var group Series
+	group.Name = "LS-Group"
+	for _, k := range Divisors(m) {
+		group.Points = append(group.Points, Point{
+			X: float64(m / k),
+			Y: LSGroup(m, k, alpha),
+		})
+	}
+	sort.Slice(group.Points, func(a, b int) bool { return group.Points[a].X < group.Points[b].X })
+	return []Series{
+		group,
+		{Name: "LPT-NoChoice", Points: []Point{{X: 1, Y: LPTNoChoice(m, alpha)}}},
+		{Name: "LowerBound", Points: []Point{{X: 1, Y: LowerBoundNoReplication(m, alpha)}}},
+		{Name: "LPT-NoRestriction", Points: []Point{{X: float64(m), Y: LPTNoRestriction(m, alpha)}}},
+		{Name: "Graham-LS", Points: []Point{{X: float64(m), Y: GrahamLS(m)}}},
+	}
+}
+
+// DefaultDeltaGrid is the Δ sweep used for the memory–makespan
+// tradeoff curves (Figure 6): log-spaced between 1/16 and 16.
+func DefaultDeltaGrid() []float64 {
+	var grid []float64
+	for d := 1.0 / 16; d <= 16+1e-9; d *= 1.25 {
+		grid = append(grid, d)
+	}
+	return grid
+}
+
+// MemoryMakespan builds the data of the paper's Figure 6 for one
+// parameterization: each series samples (X = memory guarantee,
+// Y = makespan guarantee) as Δ sweeps over the grid.
+//
+//   - "SABO": ((1+1/Δ)ρ2, (1+Δ)α²ρ1)
+//   - "ABO":  ((1+m/Δ)ρ2, 2−1/m+Δα²ρ1)
+//   - "Impossibility": the frontier {(1+δ, 1+1/δ)} no
+//     schedule-combining algorithm can cross (the bold line of the
+//     paper's figure, from the SBO_Δ analysis of the cited IPDPS'08
+//     paper).
+func MemoryMakespan(m int, alpha2, rho1, rho2 float64, deltas []float64) []Series {
+	if deltas == nil {
+		deltas = DefaultDeltaGrid()
+	}
+	alpha := math.Sqrt(alpha2)
+	sabo := Series{Name: "SABO"}
+	abo := Series{Name: "ABO"}
+	for _, d := range deltas {
+		sabo.Points = append(sabo.Points, Point{
+			X: SABOMemory(d, rho2),
+			Y: SABOMakespan(alpha, d, rho1),
+		})
+		abo.Points = append(abo.Points, Point{
+			X: ABOMemory(m, d, rho2),
+			Y: ABOMakespan(m, alpha, d, rho1),
+		})
+	}
+	impossible := Series{Name: "Impossibility"}
+	for _, d := range deltas {
+		impossible.Points = append(impossible.Points, Point{X: 1 + d, Y: 1 + 1/d})
+	}
+	for _, s := range []*Series{&sabo, &abo, &impossible} {
+		sort.Slice(s.Points, func(a, b int) bool { return s.Points[a].X < s.Points[b].X })
+	}
+	return []Series{sabo, abo, impossible}
+}

@@ -1,0 +1,41 @@
+package bounds_test
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+)
+
+// ExampleLSGroup reproduces the endpoints of the paper's Figure 3
+// discussion for α=2, m=210.
+func ExampleLSGroup() {
+	m, alpha := 210, 2.0
+	fmt.Printf("1 replica (k=m):   %.2f\n", bounds.LSGroup(m, m, alpha))
+	fmt.Printf("3 replicas (k=70): %.2f\n", bounds.LSGroup(m, 70, alpha))
+	fmt.Printf("m replicas (k=1):  %.2f\n", bounds.LSGroup(m, 1, alpha))
+	// Output:
+	// 1 replica (k=m):   7.87
+	// 3 replicas (k=70): 5.76
+	// m replicas (k=1):  2.00
+}
+
+// ExampleReplicasToBeatNoReplication answers "how many replicas until
+// LS-Group beats anything achievable without replication?".
+func ExampleReplicasToBeatNoReplication() {
+	r, ok := bounds.ReplicasToBeatNoReplication(210, 2)
+	fmt.Println(r, ok)
+	// Output:
+	// 30 true
+}
+
+// ExampleSABOMakespan evaluates the memory-aware guarantees at Δ=1.
+func ExampleSABOMakespan() {
+	alpha, delta, rho := 1.5, 1.0, 1.0
+	fmt.Printf("SABO: makespan %.3g, memory %.3g\n",
+		bounds.SABOMakespan(alpha, delta, rho), bounds.SABOMemory(delta, rho))
+	fmt.Printf("ABO:  makespan %.3g, memory %.3g\n",
+		bounds.ABOMakespan(5, alpha, delta, rho), bounds.ABOMemory(5, delta, rho))
+	// Output:
+	// SABO: makespan 4.5, memory 2
+	// ABO:  makespan 4.05, memory 6
+}

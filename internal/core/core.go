@@ -1,0 +1,306 @@
+// Package core is the public face of the library: it ties the paper's
+// two-phase model together into a small API that plans a data
+// placement (phase 1, estimates only), executes the online schedule
+// (phase 2, semi-clairvoyant), and scores the outcome against the
+// offline optimum and the paper's analytic guarantees.
+//
+// Quick use:
+//
+//	in, _ := workload.New(workload.Spec{Name: "uniform", N: 100, M: 8, Alpha: 1.5, Seed: 1})
+//	uncertainty.Uniform{}.Perturb(in, nil, rng.New(2))
+//	out, err := core.Run(in, core.Config{Strategy: core.Groups, Groups: 4})
+//	fmt.Println(out.Makespan, out.RatioUpper, out.Guarantee)
+//
+// The replication-bound strategies map to the paper as follows:
+//
+//	NoReplication       →  LPT-No Choice        (§4, Theorem 2)
+//	ReplicateEverywhere →  LPT-No Restriction   (§5, Theorem 3)
+//	Groups              →  LS-Group             (§6, Theorem 4)
+//
+// The memory-aware algorithms SABO_Δ/ABO_Δ are exposed through
+// RunMemoryAware.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/memaware"
+	"repro/internal/opt"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// Strategy selects a replication strategy of the replication-bound
+// model.
+type Strategy int
+
+// The three strategies of the paper, plus baselines.
+const (
+	// NoReplication places each task's data on exactly one machine
+	// (paper's strategy 1, LPT-No Choice).
+	NoReplication Strategy = iota
+	// ReplicateEverywhere replicates every task on every machine
+	// (strategy 2, LPT-No Restriction).
+	ReplicateEverywhere
+	// Groups partitions machines into Config.Groups groups and
+	// replicates within the assigned group (strategy 3, LS-Group).
+	Groups
+	// BaselineLS is Graham's List Scheduling over fully replicated
+	// data, the paper's 2−1/m baseline.
+	BaselineLS
+	// Oracle is clairvoyant LPT on actual times; a reference point, not
+	// an implementable policy.
+	Oracle
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case NoReplication:
+		return "no-replication"
+	case ReplicateEverywhere:
+		return "replicate-everywhere"
+	case Groups:
+		return "groups"
+	case BaselineLS:
+		return "baseline-ls"
+	case Oracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config selects and parameterizes a strategy.
+type Config struct {
+	// Strategy is the replication strategy.
+	Strategy Strategy
+	// Groups is the number of machine groups k for the Groups
+	// strategy; it must divide the instance's machine count.
+	Groups int
+	// UseLPTWithinGroups switches the Groups strategy to the LPT-based
+	// variant the paper discusses (sorted tasks in both phases).
+	UseLPTWithinGroups bool
+	// ExactLimit caps the instance size for which the outcome's
+	// optimum is computed exactly; 0 selects the default (20 tasks).
+	ExactLimit int
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("core: bad config")
+
+// algorithm resolves the configured algorithm.
+func (c Config) algorithm() (algo.Algorithm, error) {
+	switch c.Strategy {
+	case NoReplication:
+		return algo.LPTNoChoice(), nil
+	case ReplicateEverywhere:
+		return algo.LPTNoRestriction(), nil
+	case Groups:
+		if c.Groups < 1 {
+			return nil, fmt.Errorf("%w: Groups strategy needs Groups >= 1, got %d",
+				ErrBadConfig, c.Groups)
+		}
+		if c.UseLPTWithinGroups {
+			return algo.LPTGroup(c.Groups), nil
+		}
+		return algo.LSGroup(c.Groups), nil
+	case BaselineLS:
+		return algo.LSNoRestriction(), nil
+	case Oracle:
+		return algo.OracleLPT(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown strategy %v", ErrBadConfig, c.Strategy)
+	}
+}
+
+// Guarantee returns the paper's competitive-ratio guarantee for the
+// configured strategy on an (m, α) system, or NaN when no finite
+// guarantee is stated (Oracle).
+func (c Config) Guarantee(m int, alpha float64) float64 {
+	switch c.Strategy {
+	case NoReplication:
+		return bounds.LPTNoChoice(m, alpha)
+	case ReplicateEverywhere:
+		return bounds.LPTNoRestriction(m, alpha)
+	case Groups:
+		return bounds.LSGroup(m, c.Groups, alpha)
+	case BaselineLS:
+		return bounds.GrahamLS(m)
+	default:
+		return math.NaN()
+	}
+}
+
+// Plan is a phase-1 decision bound to the algorithm that made it.
+type Plan struct {
+	// Placement is the replica-set assignment.
+	Placement *placement.Placement
+	// Algorithm names the planning algorithm.
+	Algorithm string
+
+	algo algo.Algorithm
+	cfg  Config
+}
+
+// Outcome is a fully executed and scored run.
+type Outcome struct {
+	// Algorithm names the executed algorithm.
+	Algorithm string
+	// Placement is the phase-1 decision.
+	Placement *placement.Placement
+	// Schedule is the executed phase-2 schedule.
+	Schedule *sched.Schedule
+	// Makespan is the achieved makespan under actual times.
+	Makespan float64
+	// Optimum brackets the offline optimal makespan C*_max.
+	Optimum opt.Result
+	// RatioLower and RatioUpper bracket the empirical competitive
+	// ratio Makespan/C*: RatioLower uses the optimum's upper bound,
+	// RatioUpper its lower bound.
+	RatioLower, RatioUpper float64
+	// Guarantee is the analytic bound for the configuration (NaN for
+	// Oracle).
+	Guarantee float64
+	// ReplicasPerTask is the maximum |M_j| of the placement.
+	ReplicasPerTask int
+}
+
+// NewPlan runs phase 1 only: the placement decision from estimates.
+func NewPlan(in *task.Instance, cfg Config) (*Plan, error) {
+	a, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	p, err := a.Place(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(in); err != nil {
+		return nil, err
+	}
+	return &Plan{Placement: p, Algorithm: a.Name(), algo: a, cfg: cfg}, nil
+}
+
+// Execute runs phase 2 on a previously planned placement and scores
+// the outcome. The instance's actual times may have been perturbed
+// between Plan_ and Execute — that is the intended use for
+// adversarial experiments.
+func (pl *Plan) Execute(in *task.Instance) (*Outcome, error) {
+	res, err := algo.Execute(in, pl.algo)
+	if err != nil {
+		return nil, err
+	}
+	return score(in, pl.cfg, res)
+}
+
+// Run plans and executes in one call.
+func Run(in *task.Instance, cfg Config) (*Outcome, error) {
+	a, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	res, err := algo.Execute(in, a)
+	if err != nil {
+		return nil, err
+	}
+	return score(in, cfg, res)
+}
+
+func score(in *task.Instance, cfg Config, res *algo.Result) (*Outcome, error) {
+	optimum := opt.Estimate(in.Actuals(), in.M, cfg.ExactLimit)
+	out := &Outcome{
+		Algorithm:       res.Algorithm,
+		Placement:       res.Placement,
+		Schedule:        res.Schedule,
+		Makespan:        res.Makespan,
+		Optimum:         optimum,
+		Guarantee:       cfg.Guarantee(in.M, in.Alpha),
+		ReplicasPerTask: res.Placement.MaxReplication(),
+	}
+	if optimum.Upper > 0 {
+		out.RatioLower = res.Makespan / optimum.Upper
+	}
+	if optimum.Lower > 0 {
+		out.RatioUpper = res.Makespan / optimum.Lower
+	}
+	return out, nil
+}
+
+// Compare runs several configurations on the same instance and
+// returns their outcomes in input order. The instance is only read.
+// It is the one-call way to produce the strategy-comparison tables
+// shown in the examples.
+func Compare(in *task.Instance, cfgs []Config) ([]*Outcome, error) {
+	outs := make([]*Outcome, len(cfgs))
+	for i, cfg := range cfgs {
+		out, err := Run(in, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: config %d (%v): %w", i, cfg.Strategy, err)
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// MemoryAwareConfig parameterizes RunMemoryAware.
+type MemoryAwareConfig struct {
+	// Delta is the Δ threshold (must be positive).
+	Delta float64
+	// Replicate selects ABO_Δ (replicating time-intensive tasks);
+	// false selects the static SABO_Δ.
+	Replicate bool
+	// Exact uses exact single-objective reference schedules (ρ = 1)
+	// instead of LPT; only sensible for small instances.
+	Exact bool
+}
+
+// MemoryAwareOutcome is the scored result of a bi-objective run.
+type MemoryAwareOutcome struct {
+	// Result is the raw algorithm output.
+	Result *memaware.Result
+	// MakespanBound and MemoryBound are the analytic guarantees
+	// (absolute values: ratio × optimal estimate's lower bound).
+	MakespanRatioBound, MemoryRatioBound float64
+	// OptMakespan and OptMemory bracket the single-objective optima.
+	OptMakespan, OptMemory opt.Result
+}
+
+// RunMemoryAware executes SABO_Δ or ABO_Δ and scores it against both
+// single-objective optima and the paper's Table 2 guarantees.
+func RunMemoryAware(in *task.Instance, cfg MemoryAwareConfig) (*MemoryAwareOutcome, error) {
+	mc := memaware.Config{Delta: cfg.Delta}
+	rho := bounds.LPTOffline(in.M)
+	if cfg.Exact {
+		mc.Pi1, mc.Pi2 = memaware.ExactMapping, memaware.ExactMapping
+		rho = 1
+	}
+	var res *memaware.Result
+	var err error
+	if cfg.Replicate {
+		res, err = memaware.ABO(in, mc)
+	} else {
+		res, err = memaware.SABO(in, mc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &MemoryAwareOutcome{
+		Result:      res,
+		OptMakespan: opt.Estimate(in.Actuals(), in.M, 0),
+		OptMemory:   opt.Estimate(in.Sizes(), in.M, 0),
+	}
+	if cfg.Replicate {
+		out.MakespanRatioBound = bounds.ABOMakespan(in.M, in.Alpha, cfg.Delta, rho)
+		out.MemoryRatioBound = bounds.ABOMemory(in.M, cfg.Delta, rho)
+	} else {
+		out.MakespanRatioBound = bounds.SABOMakespan(in.Alpha, cfg.Delta, rho)
+		out.MemoryRatioBound = bounds.SABOMemory(cfg.Delta, rho)
+	}
+	return out, nil
+}

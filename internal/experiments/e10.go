@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/algo"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func init() { register(e10{}) }
+
+// e10 exercises the Hadoop motivation: replicas exist for fault
+// tolerance, and the same replicas buy scheduling freedom. A machine
+// fail-stops mid-run (losing its in-flight task); we measure the
+// makespan inflation per replication level and how often the workload
+// is unsurvivable (some task's only replica died).
+type e10 struct{}
+
+func (e10) ID() string { return "e10" }
+
+func (e10) Title() string {
+	return "E10: fail-stop crashes — survivability and makespan vs replication"
+}
+
+func (e10) Run(w io.Writer, opts Options) error {
+	trials, n, m := 20, 120, 8
+	if opts.Quick {
+		trials, n, m = 4, 48, 4
+	}
+	src := rng.New(opts.Seed + 1010)
+
+	variants := []struct {
+		label string
+		algo  algo.Algorithm
+	}{
+		{"no-replication", algo.LPTNoChoice()},
+		{"groups k=m/2 (2 replicas)", algo.LSGroup(m / 2)},
+		{"groups k=2", algo.LSGroup(2)},
+		{"everywhere", algo.LPTNoRestriction()},
+	}
+
+	type agg struct {
+		healthy  []float64
+		degraded []float64
+		lost     int
+	}
+	cells := make([]agg, len(variants))
+
+	for trial := 0; trial < trials; trial++ {
+		in := workload.MustNew(workload.Spec{
+			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: src.Uint64(),
+		})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(src.Uint64()))
+		failMachine := src.Intn(m)
+
+		for vi, v := range variants {
+			p, err := v.algo.Place(in)
+			if err != nil {
+				return err
+			}
+			order := v.algo.Order(in)
+
+			healthy, err := sim.RunWithFailures(in, p, order, nil)
+			if err != nil {
+				return err
+			}
+			cells[vi].healthy = append(cells[vi].healthy, healthy.Makespan())
+
+			// Crash mid-run: halfway through the healthy makespan.
+			failTime := healthy.Makespan() / 2
+			crashed, err := sim.RunWithFailures(in, p, order,
+				[]sim.Failure{{Machine: failMachine, Time: failTime}})
+			switch {
+			case errors.Is(err, sim.ErrUnsurvivable):
+				cells[vi].lost++
+			case err != nil:
+				return err
+			default:
+				cells[vi].degraded = append(cells[vi].degraded,
+					crashed.Makespan()/healthy.Makespan())
+			}
+		}
+	}
+
+	tb := report.NewTable("placement", "healthy makespan",
+		"crash slowdown (mean)", "crash slowdown (p90)", "unsurvivable")
+	for vi, v := range variants {
+		h := stats.Summarize(cells[vi].healthy)
+		d := stats.Summarize(cells[vi].degraded)
+		tb.AddRow(v.label, h.Mean, d.Mean, d.P90,
+			fmt.Sprintf("%d/%d", cells[vi].lost, trials))
+	}
+	fmt.Fprintf(w, "m=%d, n=%d, α=1.5; one machine fail-stops halfway through the run;\n", m, n)
+	fmt.Fprintf(w, "%d trials. Slowdown = crashed makespan / healthy makespan.\n", trials)
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Reading: without replication a crash is fatal (the dead machine's")
+	fmt.Fprintln(w, "pending data is unreachable); with group replication every crash is")
+	fmt.Fprintln(w, "survived and the slowdown shrinks as the surviving group members")
+	fmt.Fprintln(w, "absorb the orphaned tasks — the dual use of replicas the paper's")
+	fmt.Fprintln(w, "introduction points at.")
+	return nil
+}

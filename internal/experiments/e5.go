@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func init() { register(e5{}) }
+
+// e5 measures the library's own scalability: end-to-end wall time and
+// task throughput of the two-phase pipeline as the task count grows.
+// The event-driven simulator is O((n + m + R) log m) where R is the
+// total replica count, so throughput should stay roughly flat in n
+// for group placements and degrade only for full replication
+// (R = n·m).
+type e5 struct{}
+
+func (e5) ID() string { return "e5" }
+
+func (e5) Title() string {
+	return "E5: algorithm throughput scaling"
+}
+
+func (e5) Run(w io.Writer, opts Options) error {
+	sizes := []int{1_000, 10_000, 100_000}
+	if opts.Quick {
+		sizes = []int{1_000, 5_000}
+	}
+	const m = 64
+	src := rng.New(opts.Seed + 505)
+
+	cfgs := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"no-replication", core.Config{Strategy: core.NoReplication}},
+		{"groups k=8", core.Config{Strategy: core.Groups, Groups: 8}},
+		{"everywhere", core.Config{Strategy: core.ReplicateEverywhere}},
+	}
+
+	tb := report.NewTable("n", "strategy", "wall time", "tasks/sec")
+	for _, n := range sizes {
+		in := workload.MustNew(workload.Spec{
+			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: src.Uint64(),
+		})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(src.Uint64()))
+		for _, c := range cfgs {
+			start := time.Now()
+			if _, err := core.Run(in, c.cfg); err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			rate := float64(n) / elapsed.Seconds()
+			tb.AddRow(n, c.label, elapsed.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.3g", rate))
+		}
+	}
+	fmt.Fprintf(w, "m=%d machines; single run per cell (see bench_test.go for\n", m)
+	fmt.Fprintln(w, "statistically robust numbers via testing.B).")
+	return tb.Render(w)
+}

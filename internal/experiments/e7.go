@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/adversary"
+	"repro/internal/bounds"
+	"repro/internal/report"
+)
+
+func init() { register(e7{}) }
+
+// e7 studies the Theorem 1 lower bound's convergence: the adversary's
+// certified ratio as a function of λ (tasks per machine) and m, versus
+// the closed-form bound α²m/(α²+m−1) and its m→∞ limit α². The paper
+// only states the limit; this table shows how quickly real instances
+// approach it, which matters when interpreting the m=210 figures.
+type e7 struct{}
+
+func (e7) ID() string { return "e7" }
+
+func (e7) Title() string {
+	return "E7: convergence of the Theorem 1 adversary bound in λ and m"
+}
+
+func (e7) Run(w io.Writer, opts Options) error {
+	lambdas := []int{1, 2, 5, 10, 50, 500}
+	ms := []int{2, 6, 24, 210}
+	if opts.Quick {
+		lambdas = []int{1, 10, 500}
+		ms = []int{2, 24}
+	}
+	alpha := 2.0
+
+	fmt.Fprintf(w, "α=%g; entries are the adversary-certified competitive ratio for a\n", alpha)
+	fmt.Fprintln(w, "balanced placement (B=λ); the last columns are the closed forms.")
+	headers := []string{"m"}
+	for _, l := range lambdas {
+		headers = append(headers, fmt.Sprintf("λ=%d", l))
+	}
+	headers = append(headers, "Th.1 bound", "limit α²")
+	cells := make([]interface{}, len(headers))
+	tb := report.NewTable(headers...)
+	for _, m := range ms {
+		cells[0] = m
+		for li, l := range lambdas {
+			cells[1+li] = adversary.Theorem1Ratio(l, m, l, alpha)
+		}
+		cells[len(cells)-2] = bounds.LowerBoundNoReplication(m, alpha)
+		cells[len(cells)-1] = bounds.LowerBoundNoReplicationLimit(alpha)
+		tb.AddRow(cells...)
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Reading: convergence in λ is fast (λ=50 is within ~2% of the bound);")
+	fmt.Fprintln(w, "convergence in m toward α² is slow — at m=210 the bound is still")
+	fmt.Fprintf(w, "%.3g of the α²=%.3g limit, which is why Figure 3 plots the\n",
+		bounds.LowerBoundNoReplication(210, alpha), alpha*alpha)
+	fmt.Fprintln(w, "finite-m expression rather than the limit.")
+	return nil
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper
+// plus the empirical extension experiments listed in DESIGN.md. Each
+// experiment is a named runner that writes a human-readable report to
+// an io.Writer; cmd/paperfigs drives them and tees CSV artifacts.
+//
+// Paper artifacts:
+//
+//	table1  — Table 1: replication-bound model guarantee summary
+//	table2  — Table 2: SABO_Δ/ABO_Δ guarantee summary
+//	fig1    — Figure 1: Theorem 1 adversary instance (λ=3, m=6)
+//	fig2    — Figure 2: replication-in-groups example (m=6, k=2)
+//	fig3    — Figure 3: guarantee vs replication, m=210, α ∈ {1.1,1.5,2}
+//	fig4    — Figure 4: SABO_Δ schedule example
+//	fig5    — Figure 5: ABO_Δ schedule example
+//	fig6    — Figure 6: memory–makespan guarantee tradeoff
+//
+// Empirical extensions (the paper proves but never measures; these
+// exercise the full simulator stack):
+//
+//	e1 — empirical competitive ratio vs replication degree
+//	e2 — guarantee validation against exact optima
+//	e3 — empirical memory–makespan Pareto fronts
+//	e4 — replication benefit on motivating workloads
+//	e5 — algorithm throughput scaling
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible artifact.
+type Experiment interface {
+	// ID is the registry key (e.g. "fig3").
+	ID() string
+	// Title is a one-line description.
+	Title() string
+	// Run writes the report to w. Quick mode shrinks trial counts so
+	// the full suite stays test-friendly.
+	Run(w io.Writer, opts Options) error
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick reduces instance sizes and trial counts (used by tests).
+	Quick bool
+	// Seed shifts the deterministic RNG streams; 0 selects the
+	// default, so published outputs stay bit-identical.
+	Seed uint64
+}
+
+// registry holds all experiments keyed by ID.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID()]; dup {
+		panic("experiments: duplicate id " + e.ID())
+	}
+	registry[e.ID()] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns the experiments in ID order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}
+
+// RunAll executes every experiment in ID order, separating reports
+// with banners.
+func RunAll(w io.Writer, opts Options) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "==================================================================\n")
+		fmt.Fprintf(w, "%s — %s\n", e.ID(), e.Title())
+		fmt.Fprintf(w, "==================================================================\n")
+		if err := e.Run(w, opts); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID(), err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runQuick(t *testing.T, id string) string {
+	t.Helper()
+	e, err := Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Options{Quick: true}); err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"e1", "e10", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("All() has %d entries", len(All()))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	out := runQuick(t, "table1")
+	for _, want := range []string{"Th. 1", "Th. 2", "Th. 3", "Th. 4", "210", "Graham"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := runQuick(t, "table2")
+	for _, want := range []string{"SABO", "ABO", "ρ1", "memory", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 missing %q", want)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	out := runQuick(t, "fig1")
+	for _, want := range []string{"Online", "Offline", "Theorem 1", "makespan", "m0", "m5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig1 missing %q:\n%s", want, out)
+		}
+	}
+	// The blind schedule must be strictly worse than the oracle: both
+	// makespans are printed; sanity-check the ratio line exists.
+	if !strings.Contains(out, "measured ratio") {
+		t.Fatal("fig1 missing measured ratio")
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	out := runQuick(t, "fig2")
+	for _, want := range []string{"Phase 1", "Phase 2", "group", "replicas per task = 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	out := runQuick(t, "fig3")
+	for _, want := range []string{"alpha=1.1", "alpha=1.5", "alpha=2", "LS-Group",
+		"LPT-NoChoice", "Lower bound", "Graham"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig3 missing %q", want)
+		}
+	}
+}
+
+func TestFig3CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	// 3 alphas × (16 divisors + 4 single points) + header.
+	if lines != 3*20+1 {
+		t.Fatalf("Fig3CSV has %d lines", lines)
+	}
+}
+
+func TestFig4Fig5Outputs(t *testing.T) {
+	out4 := runQuick(t, "fig4")
+	if !strings.Contains(out4, "S1") || !strings.Contains(out4, "S2") {
+		t.Fatalf("fig4 missing task-set breakdown:\n%s", out4)
+	}
+	out5 := runQuick(t, "fig5")
+	if !strings.Contains(out5, "replicated") {
+		t.Fatalf("fig5 missing replication note")
+	}
+	// ABO replicates, so its memory must not be below SABO's on the
+	// same instance — both reports print Mem_max.
+	if !strings.Contains(out4, "Mem_max") || !strings.Contains(out5, "Mem_max") {
+		t.Fatal("memory not reported")
+	}
+}
+
+func TestFig6Output(t *testing.T) {
+	out := runQuick(t, "fig6")
+	for _, want := range []string{"SABO", "ABO", "Impossibility", "rho1=rho2=4/3", "rho1=rho2=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 missing %q", want)
+		}
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "m,alpha2,rho,series,") {
+		t.Fatalf("Fig6CSV header wrong: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestE1Output(t *testing.T) {
+	out := runQuick(t, "e1")
+	for _, want := range []string{"replicas", "adversary", "guarantee", "uniform"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2PassesAndReportsMargins(t *testing.T) {
+	out := runQuick(t, "e2")
+	if !strings.Contains(out, "PASS") {
+		t.Fatalf("e2 did not pass:\n%s", out)
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Fatalf("e2 reported violations:\n%s", out)
+	}
+}
+
+func TestE3Output(t *testing.T) {
+	out := runQuick(t, "e3")
+	for _, want := range []string{"SABO", "ABO", "tradeoff", "mem ratio"} {
+		if !strings.Contains(out, want) && !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Fatalf("e3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE4Output(t *testing.T) {
+	out := runQuick(t, "e4")
+	for _, fam := range []string{"iterative", "spmv", "mapreduce", "bimodal"} {
+		if !strings.Contains(out, fam) {
+			t.Fatalf("e4 missing workload %q", fam)
+		}
+	}
+	if !strings.Contains(out, "oracle") {
+		t.Fatal("e4 missing oracle row")
+	}
+}
+
+func TestE5Output(t *testing.T) {
+	out := runQuick(t, "e5")
+	if !strings.Contains(out, "tasks/sec") {
+		t.Fatalf("e5 missing throughput column:\n%s", out)
+	}
+}
+
+func TestE6Output(t *testing.T) {
+	out := runQuick(t, "e6")
+	for _, want := range []string{"LPT-Group", "LS-Group", "ReplicateTail", "replicas/task",
+		"zipf", "iterative"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE7Output(t *testing.T) {
+	out := runQuick(t, "e7")
+	for _, want := range []string{"λ=1", "Th.1 bound", "limit α²"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE8Output(t *testing.T) {
+	out := runQuick(t, "e8")
+	for _, want := range []string{"true β", "β/α", "LPT-NoRestriction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e8 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE9Output(t *testing.T) {
+	out := runQuick(t, "e9")
+	for _, want := range []string{"phi", "steal", "everywhere", "no-replication"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e9 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE10Output(t *testing.T) {
+	out := runQuick(t, "e10")
+	for _, want := range []string{"unsurvivable", "slowdown", "everywhere"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e10 missing %q:\n%s", want, out)
+		}
+	}
+	// No-replication must be unsurvivable in every trial (the crashed
+	// machine always holds sole copies of pending tasks).
+	if !strings.Contains(out, "4/4") {
+		t.Fatalf("e10 quick mode: expected 4/4 unsurvivable for no-replication:\n%s", out)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow; run without -short")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(buf.String(), id+" — ") {
+			t.Fatalf("RunAll output missing banner for %s", id)
+		}
+	}
+}
+
+func TestDeterministicOutputs(t *testing.T) {
+	// Identical options must produce byte-identical reports for the
+	// pure-analytic experiments and the seeded empirical ones (e5
+	// prints wall time, so it is excluded).
+	for _, id := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "e1", "e3", "e4", "e6", "e7", "e8", "e9", "e10"} {
+		a := runQuick(t, id)
+		b := runQuick(t, id)
+		if a != b {
+			t.Fatalf("%s output not deterministic", id)
+		}
+	}
+}

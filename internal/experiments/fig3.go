@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bounds"
+	"repro/internal/report"
+)
+
+func init() { register(fig3{}) }
+
+// fig3 reproduces Figure 3: the ratio–replication tradeoff for m=210
+// and α ∈ {1.1, 1.5, 2}. Each sub-figure plots the LS-Group guarantee
+// as the number of replicas per task (m/k) sweeps the divisors of m,
+// against the single-point guarantees of the two extreme strategies,
+// Graham's baseline, and the Theorem 1 impossibility bound.
+type fig3 struct{}
+
+func (fig3) ID() string { return "fig3" }
+
+func (fig3) Title() string {
+	return "Figure 3: guarantee vs replication, m=210, α ∈ {1.1, 1.5, 2}"
+}
+
+// Fig3Alphas returns the α values of the three sub-figures.
+func Fig3Alphas() []float64 { return []float64{1.1, 1.5, 2} }
+
+func (fig3) Run(w io.Writer, _ Options) error {
+	const m = 210
+	for _, alpha := range Fig3Alphas() {
+		series := bounds.RatioReplication(m, alpha)
+		if err := report.Plot(w, series, report.PlotOptions{
+			Title:  fmt.Sprintf("m=%d, alpha=%g", m, alpha),
+			XLabel: "replicas per task (m/k), log scale",
+			YLabel: "guaranteed competitive ratio",
+			LogX:   true,
+			Width:  64, Height: 16,
+		}); err != nil {
+			return err
+		}
+
+		tb := report.NewTable("replicas (m/k)", "k groups", "LS-Group guarantee")
+		for _, pt := range seriesByName(series, "LS-Group").Points {
+			tb.AddRow(int(pt.X), m/int(pt.X), pt.Y)
+		}
+		if err := tb.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "LPT-NoChoice (1 replica)  guarantee: %.4g\n",
+			seriesByName(series, "LPT-NoChoice").Points[0].Y)
+		fmt.Fprintf(w, "Lower bound  (1 replica)  guarantee: %.4g\n",
+			seriesByName(series, "LowerBound").Points[0].Y)
+		fmt.Fprintf(w, "LPT-NoRestriction (m replicas)     : %.4g\n",
+			seriesByName(series, "LPT-NoRestriction").Points[0].Y)
+		fmt.Fprintf(w, "Graham LS (m replicas)             : %.4g\n",
+			seriesByName(series, "Graham-LS").Points[0].Y)
+		if r, ok := bounds.ReplicasToBeatNoReplication(m, alpha); ok {
+			fmt.Fprintf(w, "replicas to beat ANY no-replication algorithm: %d\n\n", r)
+		} else {
+			fmt.Fprintf(w, "no replication level beats the Th.1 lower bound at this α\n\n")
+		}
+	}
+	fmt.Fprintln(w, "Shape checks (paper's observations):")
+	fmt.Fprintln(w, " * α=1.1: LS-Group barely improves on LPT-No Choice; big gap to lower bound.")
+	fmt.Fprintln(w, " * α=1.5: intermediate group sizes trace a smooth tradeoff.")
+	fmt.Fprintln(w, " * α=2.0: <50 replicas beat the best no-replication guarantee;")
+	fmt.Fprintln(w, "          ratio falls from >7.5 (1 replica) to <6 with only 3 replicas.")
+	return nil
+}
+
+func seriesByName(series []bounds.Series, name string) bounds.Series {
+	for _, s := range series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return bounds.Series{Name: name}
+}
+
+// Fig3SVG writes one sub-figure's series as an SVG line chart.
+func Fig3SVG(w io.Writer, alpha float64) error {
+	return report.WriteSVGPlot(w, bounds.RatioReplication(210, alpha), report.SVGPlotOptions{
+		Title:  fmt.Sprintf("Figure 3: m=210, alpha=%g", alpha),
+		XLabel: "replicas per task (m/k)",
+		YLabel: "guaranteed competitive ratio",
+		LogX:   true,
+	})
+}
+
+// Fig3CSV exports all three sub-figures' series in long form.
+func Fig3CSV(w io.Writer) error {
+	tb := report.NewTable("alpha", "series", "replicas", "guarantee")
+	for _, alpha := range Fig3Alphas() {
+		for _, s := range bounds.RatioReplication(210, alpha) {
+			for _, pt := range s.Points {
+				tb.AddRow(alpha, s.Name, pt.X, pt.Y)
+			}
+		}
+	}
+	return tb.WriteCSV(w)
+}

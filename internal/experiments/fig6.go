@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bounds"
+	"repro/internal/report"
+)
+
+func init() { register(fig6{}) }
+
+// fig6 reproduces Figure 6: the memory–makespan guarantee tradeoff of
+// SABO_Δ and ABO_Δ for the paper's three parameterizations, with the
+// impossibility frontier no schedule-combining algorithm can cross.
+type fig6 struct{}
+
+func (fig6) ID() string { return "fig6" }
+
+func (fig6) Title() string {
+	return "Figure 6: memory–makespan guarantee tradeoff (SABO_Δ vs ABO_Δ)"
+}
+
+func (fig6) Run(w io.Writer, _ Options) error {
+	for _, cfg := range Table2Configs() {
+		series := bounds.MemoryMakespan(cfg.M, cfg.Alpha2, cfg.Rho, cfg.Rho, nil)
+		if err := report.Plot(w, series, report.PlotOptions{
+			Title: fmt.Sprintf("m=%d, alpha^2=%g, rho1=rho2=%s",
+				cfg.M, cfg.Alpha2, ratioName(cfg.Rho)),
+			XLabel: "memory guarantee",
+			YLabel: "makespan guarantee",
+			LogX:   true,
+			Width:  64, Height: 16,
+		}); err != nil {
+			return err
+		}
+		// Crossover: smallest memory guarantee at which ABO's makespan
+		// guarantee beats SABO's.
+		sabo := seriesByName(series, "SABO")
+		abo := seriesByName(series, "ABO")
+		fmt.Fprintf(w, "SABO makespan range [%.4g, %.4g], ABO makespan range [%.4g, %.4g]\n",
+			minY(sabo), maxY(sabo), minY(abo), maxY(abo))
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Shape checks (paper's observations):")
+	fmt.Fprintln(w, " * SABO always dominates on the memory guarantee;")
+	fmt.Fprintln(w, " * for αρ1 ≥ 2 (sub-figures a and c) ABO always dominates on makespan;")
+	fmt.Fprintln(w, " * a makespan guarantee below 3 in sub-figure (b) requires ABO.")
+	return nil
+}
+
+func minY(s bounds.Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	min := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < min {
+			min = p.Y
+		}
+	}
+	return min
+}
+
+func maxY(s bounds.Series) float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		if p.Y > max {
+			max = p.Y
+		}
+	}
+	return max
+}
+
+// Fig6SVG writes one parameterization's series as an SVG line chart.
+func Fig6SVG(w io.Writer, cfg Table2Config) error {
+	series := bounds.MemoryMakespan(cfg.M, cfg.Alpha2, cfg.Rho, cfg.Rho, nil)
+	return report.WriteSVGPlot(w, series, report.SVGPlotOptions{
+		Title: fmt.Sprintf("Figure 6: m=%d, alpha^2=%g, rho=%s",
+			cfg.M, cfg.Alpha2, ratioName(cfg.Rho)),
+		XLabel: "memory guarantee",
+		YLabel: "makespan guarantee",
+		LogX:   true,
+	})
+}
+
+// Fig6CSV exports the three sub-figures' series in long form.
+func Fig6CSV(w io.Writer) error {
+	tb := report.NewTable("m", "alpha2", "rho", "series", "memory_guarantee", "makespan_guarantee")
+	for _, cfg := range Table2Configs() {
+		for _, s := range bounds.MemoryMakespan(cfg.M, cfg.Alpha2, cfg.Rho, cfg.Rho, nil) {
+			for _, pt := range s.Points {
+				tb.AddRow(cfg.M, cfg.Alpha2, cfg.Rho, s.Name, pt.X, pt.Y)
+			}
+		}
+	}
+	return tb.WriteCSV(w)
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenAnalyticExperiments pins the byte-exact output of the
+// purely analytic experiments (no simulation, no RNG): any change to
+// the published numbers of Tables 1–2 or Figures 3/6 must be a
+// conscious one. Refresh with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+func TestGoldenAnalyticExperiments(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "fig3", "fig6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s output diverged from golden file; run with -update if intentional.\n"+
+					"got %d bytes, want %d bytes", id, buf.Len(), len(want))
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package memaware_test
+
+import (
+	"fmt"
+
+	"repro/internal/memaware"
+	"repro/internal/task"
+)
+
+// ExampleSABO splits a mixed workload with the Δ-test and pins each
+// side to its reference schedule.
+func ExampleSABO() {
+	// Task 0 is compute-heavy, task 1 memory-heavy, task 2 mixed.
+	est := []float64{8, 0.5, 3}
+	in, _ := task.NewEstimated(2, 1.5, est)
+	_ = in.SetSizes([]float64{0.5, 9, 3})
+
+	res, _ := memaware.SABO(in, memaware.Config{Delta: 1})
+	fmt.Printf("time-intensive (S1):   %v\n", res.TimeIntensive)
+	fmt.Printf("memory-intensive (S2): %v\n", res.MemoryIntensive)
+	fmt.Printf("replication: %d\n", res.Placement.MaxReplication())
+	// Output:
+	// time-intensive (S1):   [0 2]
+	// memory-intensive (S2): [1]
+	// replication: 1
+}
+
+// ExampleABO replicates the time-intensive side everywhere for online
+// dispatch.
+func ExampleABO() {
+	est := []float64{8, 0.5, 3}
+	in, _ := task.NewEstimated(2, 1.5, est)
+	_ = in.SetSizes([]float64{0.5, 9, 3})
+
+	res, _ := memaware.ABO(in, memaware.Config{Delta: 1})
+	fmt.Printf("replication of task 0: %d machines\n", len(res.Placement.Sets[0]))
+	fmt.Printf("replication of task 1: %d machine\n", len(res.Placement.Sets[1]))
+	// Output:
+	// replication of task 0: 2 machines
+	// replication of task 1: 1 machine
+}

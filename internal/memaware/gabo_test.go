@@ -1,0 +1,136 @@
+package memaware
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func TestGABOKOneMatchesABO(t *testing.T) {
+	in := memInstance(t, 40, 4, 1.5, 61)
+	abo, err := ABO(in, Config{Delta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gabo, err := GABO(in, Config{Delta: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gabo.Makespan != abo.Makespan || gabo.MemMax != abo.MemMax {
+		t.Fatalf("GABO(k=1) (%v, %v) != ABO (%v, %v)",
+			gabo.Makespan, gabo.MemMax, abo.Makespan, abo.MemMax)
+	}
+}
+
+func TestGABOReplicationDegree(t *testing.T) {
+	in := memInstance(t, 40, 6, 1.5, 67)
+	gabo, err := GABO(in, Config{Delta: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range gabo.TimeIntensive {
+		if got := len(gabo.Placement.Sets[j]); got != 2 { // m/k = 2
+			t.Fatalf("time-intensive task %d has %d replicas, want 2", j, got)
+		}
+	}
+	for _, j := range gabo.MemoryIntensive {
+		if got := len(gabo.Placement.Sets[j]); got != 1 {
+			t.Fatalf("memory-intensive task %d has %d replicas, want 1", j, got)
+		}
+	}
+}
+
+func TestGABOMemoryBetweenSABOAndABO(t *testing.T) {
+	// Averaged over draws, GABO's memory sits at or below ABO's (fewer
+	// copies of the replicated set) and at or above SABO's (which
+	// replicates nothing).
+	var sumSABO, sumGABO, sumABO float64
+	src := rng.New(71)
+	for trial := 0; trial < 10; trial++ {
+		in := workload.MustNew(workload.Spec{
+			Name: "spmv", N: 60, M: 6, Alpha: 1.5, Seed: src.Uint64(),
+		})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(src.Uint64()))
+		sabo, err := SABO(in, Config{Delta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gabo, err := GABO(in, Config{Delta: 1}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abo, err := ABO(in, Config{Delta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSABO += sabo.MemMax
+		sumGABO += gabo.MemMax
+		sumABO += abo.MemMax
+	}
+	if !(sumSABO <= sumGABO && sumGABO <= sumABO) {
+		t.Fatalf("memory ordering violated: SABO %v, GABO %v, ABO %v",
+			sumSABO, sumGABO, sumABO)
+	}
+}
+
+func TestGABOMakespanCompetitive(t *testing.T) {
+	// GABO's makespan should usually sit between ABO's (most freedom)
+	// and SABO's (none); check the aggregate ordering holds loosely.
+	var mkSABO, mkGABO, mkABO []float64
+	src := rng.New(73)
+	for trial := 0; trial < 12; trial++ {
+		in := workload.MustNew(workload.Spec{
+			Name: "uniform", N: 60, M: 6, Alpha: 2, Seed: src.Uint64(),
+		})
+		uncertainty.Extremes{}.Perturb(in, nil, rng.New(src.Uint64()))
+		sabo, err := SABO(in, Config{Delta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gabo, err := GABO(in, Config{Delta: 0.5}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abo, err := ABO(in, Config{Delta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mkSABO = append(mkSABO, sabo.Makespan)
+		mkGABO = append(mkGABO, gabo.Makespan)
+		mkABO = append(mkABO, abo.Makespan)
+	}
+	mS, mG, mA := stats.Summarize(mkSABO).Mean, stats.Summarize(mkGABO).Mean, stats.Summarize(mkABO).Mean
+	if !(mA <= mG+1e-9) {
+		t.Fatalf("ABO mean %v above GABO %v", mA, mG)
+	}
+	if !(mG <= mS+1e-9) {
+		t.Fatalf("GABO mean %v above SABO %v", mG, mS)
+	}
+}
+
+func TestGABORejectsBadK(t *testing.T) {
+	in := memInstance(t, 10, 6, 1.5, 79)
+	if _, err := GABO(in, Config{Delta: 1}, 4); err == nil {
+		t.Error("non-divisor k accepted")
+	}
+	if _, err := GABO(in, Config{Delta: 0}, 2); err == nil {
+		t.Error("delta=0 accepted")
+	}
+}
+
+func TestGABOFeasible(t *testing.T) {
+	in := memInstance(t, 50, 6, 1.7, 83)
+	res, err := GABO(in, Config{Delta: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in, res.Placement); err != nil {
+		t.Fatal(err)
+	}
+	if res.MemMax != res.Placement.MaxMemory(in) {
+		t.Fatal("memory accounting mismatch")
+	}
+}

@@ -1,0 +1,294 @@
+// Package memaware implements the paper's memory-aware replication
+// model: a bi-objective problem minimizing both makespan C_max and
+// maximum per-machine memory occupation Mem_max = max_i Σ_{j∈E_i} s_j.
+//
+// Three algorithms are provided:
+//
+//   - SBO_Δ — the substrate from the cited IPDPS'08 work: combine a
+//     ρ1-approximate makespan schedule π1 with a ρ2-approximate memory
+//     schedule π2; task j follows π2 iff
+//     p̃_j / C̃^π1_max ≤ Δ · s_j / Mem^π2_max, else π1.
+//   - SABO_Δ — "static asymmetric bi-objective": SBO_Δ's split under
+//     uncertain times; no replication. Guarantees
+//     ((1+Δ)α²ρ1, (1+1/Δ)ρ2) on (makespan, memory).
+//   - ABO_Δ — "asymmetric bi-objective": memory-intensive tasks are
+//     pinned per π2, processing-time-intensive tasks are replicated on
+//     every machine and dispatched online by Graham's List Scheduling
+//     after a machine drains its pinned queue. Guarantees
+//     (2−1/m+Δα²ρ1, (1+m/Δ)ρ2).
+//
+// π1 and π2 default to LPT on estimates and LPT on sizes
+// (ρ1 = ρ2 = 4/3 − 1/(3m)), and are pluggable so experiments can use
+// exact single-objective schedules (ρ = 1) as the paper's Figure 6(b)
+// assumes.
+package memaware
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/opt"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+// MappingFunc produces a task→machine assignment optimizing one
+// objective over the given weights (estimates for π1, sizes for π2).
+type MappingFunc func(weights []float64, m int) []int
+
+// LPTMapping is the default single-objective scheduler: LPT over the
+// weights, a (4/3 − 1/(3m))-approximation for minimizing the maximum
+// machine weight.
+func LPTMapping(weights []float64, m int) []int {
+	_, mapping := opt.LPT(weights, m)
+	return mapping
+}
+
+// ExactMapping minimizes the maximum machine weight exactly via
+// branch-and-bound (falls back to LPT if the search budget runs out).
+// Intended for the small instances of guarantee-validation
+// experiments, where ρ = 1 is required.
+func ExactMapping(weights []float64, m int) []int {
+	target, ok := opt.Exact(weights, m, 5_000_000)
+	if !ok {
+		return LPTMapping(weights, m)
+	}
+	// Reconstruct an assignment achieving the target via DFS.
+	n := len(weights)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	loads := make([]float64, m)
+	mapping := make([]int, n)
+	const tol = 1e-9
+	var dfs func(idx int) bool
+	dfs = func(idx int) bool {
+		if idx == n {
+			return true
+		}
+		j := order[idx]
+		for i := 0; i < m; i++ {
+			// Symmetry: skip machines identical in load to an earlier one.
+			dup := false
+			for i2 := 0; i2 < i; i2++ {
+				if loads[i2] == loads[i] {
+					dup = true
+					break
+				}
+			}
+			if dup || loads[i]+weights[j] > target*(1+tol) {
+				continue
+			}
+			loads[i] += weights[j]
+			mapping[j] = i
+			if dfs(idx + 1) {
+				return true
+			}
+			loads[i] -= weights[j]
+		}
+		return false
+	}
+	if !dfs(0) {
+		return LPTMapping(weights, m)
+	}
+	return mapping
+}
+
+// Config parameterizes the bi-objective algorithms.
+type Config struct {
+	// Delta is the Δ threshold trading makespan for memory; must be
+	// positive.
+	Delta float64
+	// Pi1 builds the makespan-oriented schedule from estimates;
+	// nil selects LPTMapping.
+	Pi1 MappingFunc
+	// Pi2 builds the memory-oriented schedule from sizes; nil selects
+	// LPTMapping.
+	Pi2 MappingFunc
+}
+
+// ErrBadDelta reports a non-positive Δ.
+var ErrBadDelta = errors.New("memaware: delta must be positive")
+
+// Result is the outcome of a bi-objective algorithm.
+type Result struct {
+	// Algorithm names the algorithm.
+	Algorithm string
+	// Placement is the phase-1 data placement (replica sets).
+	Placement *placement.Placement
+	// Schedule is the executed schedule.
+	Schedule *sched.Schedule
+	// Makespan is the executed makespan (actual times).
+	Makespan float64
+	// MemMax is max_i Σ_{j replicated on i} s_j.
+	MemMax float64
+	// TimeIntensive lists the tasks in S1 (scheduled for makespan).
+	TimeIntensive []int
+	// MemoryIntensive lists the tasks in S2 (scheduled for memory).
+	MemoryIntensive []int
+	// PlannedMakespan is C̃^π1_max, the estimated makespan of π1.
+	PlannedMakespan float64
+	// PlannedMemory is Mem^π2_max, the memory of π2.
+	PlannedMemory float64
+}
+
+// split computes S1/S2 and the reference schedules. It returns the
+// π1 and π2 mappings, the planned C̃^π1_max and Mem^π2_max, and the
+// membership of S2 (memory-intensive).
+func split(in *task.Instance, cfg Config) (pi1, pi2 []int, cmax1, mem2 float64, inS2 []bool, err error) {
+	if !(cfg.Delta > 0) {
+		return nil, nil, 0, 0, nil, fmt.Errorf("%w: got %v", ErrBadDelta, cfg.Delta)
+	}
+	p1 := cfg.Pi1
+	if p1 == nil {
+		p1 = LPTMapping
+	}
+	p2 := cfg.Pi2
+	if p2 == nil {
+		p2 = LPTMapping
+	}
+	pi1 = p1(in.Estimates(), in.M)
+	pi2 = p2(in.Sizes(), in.M)
+	if len(pi1) != in.N() || len(pi2) != in.N() {
+		return nil, nil, 0, 0, nil, fmt.Errorf("memaware: mapping length mismatch")
+	}
+	loads1 := make([]float64, in.M)
+	loads2 := make([]float64, in.M)
+	for j, t := range in.Tasks {
+		loads1[pi1[j]] += t.Estimate
+		loads2[pi2[j]] += t.Size
+	}
+	for i := 0; i < in.M; i++ {
+		if loads1[i] > cmax1 {
+			cmax1 = loads1[i]
+		}
+		if loads2[i] > mem2 {
+			mem2 = loads2[i]
+		}
+	}
+	if cmax1 <= 0 {
+		return nil, nil, 0, 0, nil, fmt.Errorf("memaware: degenerate π1 makespan")
+	}
+	inS2 = make([]bool, in.N())
+	for j, t := range in.Tasks {
+		// p̃_j / C̃^π1 ≤ Δ·s_j / Mem^π2 → memory-intensive (S2).
+		lhs := t.Estimate / cmax1
+		var rhs float64
+		if mem2 > 0 {
+			rhs = cfg.Delta * t.Size / mem2
+		}
+		inS2[j] = lhs <= rhs
+	}
+	return pi1, pi2, cmax1, mem2, inS2, nil
+}
+
+// SABO runs the SABO_Δ algorithm: each task is statically pinned to
+// its π1 or π2 machine according to the Δ test; phase 2 just executes
+// the pinned assignment with actual times.
+func SABO(in *task.Instance, cfg Config) (*Result, error) {
+	pi1, pi2, cmax1, mem2, inS2, err := split(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	mapping := make([]int, in.N())
+	var s1, s2 []int
+	for j := range mapping {
+		if inS2[j] {
+			mapping[j] = pi2[j]
+			s2 = append(s2, j)
+		} else {
+			mapping[j] = pi1[j]
+			s1 = append(s1, j)
+		}
+	}
+	p := placement.New(in.N(), in.M)
+	for j, i := range mapping {
+		p.Assign(j, i)
+	}
+	s, err := sched.FromMapping(in, mapping)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:       fmt.Sprintf("SABO(Δ=%.3g)", cfg.Delta),
+		Placement:       p,
+		Schedule:        s,
+		Makespan:        s.Makespan(),
+		MemMax:          p.MaxMemory(in),
+		TimeIntensive:   s1,
+		MemoryIntensive: s2,
+		PlannedMakespan: cmax1,
+		PlannedMemory:   mem2,
+	}, nil
+}
+
+// SBO runs the substrate SBO_Δ algorithm for certain processing
+// times: identical split to SABO, but the execution is evaluated as
+// if estimates were exact. It is exposed for completeness and for
+// testing the substrate in isolation.
+func SBO(in *task.Instance, cfg Config) (*Result, error) {
+	res, err := SABO(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = fmt.Sprintf("SBO(Δ=%.3g)", cfg.Delta)
+	return res, nil
+}
+
+// ABO runs the ABO_Δ algorithm: memory-intensive tasks are pinned per
+// π2; time-intensive tasks are replicated on all machines and
+// dispatched online with Graham's List Scheduling once a machine has
+// drained its pinned queue.
+func ABO(in *task.Instance, cfg Config) (*Result, error) {
+	_, pi2, cmax1, mem2, inS2, err := split(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := placement.New(in.N(), in.M)
+	var s1, s2 []int
+	for j := range in.Tasks {
+		if inS2[j] {
+			p.Assign(j, pi2[j])
+			s2 = append(s2, j)
+		} else {
+			all := make([]int, in.M)
+			for i := range all {
+				all[i] = i
+			}
+			p.AssignSet(j, all)
+			s1 = append(s1, j)
+		}
+	}
+	// Priority: pinned memory tasks first (so machines drain their π2
+	// queues), then replicated tasks in list order.
+	order := make([]int, 0, in.N())
+	order = append(order, s2...)
+	order = append(order, s1...)
+	d, err := sim.NewListDispatcher(p, order)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(in, d, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Schedule.Verify(in, p); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:       fmt.Sprintf("ABO(Δ=%.3g)", cfg.Delta),
+		Placement:       p,
+		Schedule:        res.Schedule,
+		Makespan:        res.Schedule.Makespan(),
+		MemMax:          p.MaxMemory(in),
+		TimeIntensive:   s1,
+		MemoryIntensive: s2,
+		PlannedMakespan: cmax1,
+		PlannedMemory:   mem2,
+	}, nil
+}

@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// KarmarkarKarp computes an m-way partition of the times by the
+// largest differencing method (Karmarkar–Karp) and returns its
+// makespan — another certified upper bound on C*. LDM often beats LPT
+// on instances with near-equal large tasks (the classic LPT worst
+// cases), so Estimate takes the best of both.
+//
+// The m-way generalization keeps a max-heap of partial solutions
+// (m-vectors of loads), repeatedly merging the two with the largest
+// spread by pairing the heaviest load of one with the lightest of the
+// other. Complexity O(n·(log n + m log m)).
+func KarmarkarKarp(times []float64, m int) float64 {
+	n := len(times)
+	if n == 0 {
+		return 0
+	}
+	if m <= 1 {
+		s := 0.0
+		for _, p := range times {
+			s += p
+		}
+		return s
+	}
+
+	h := make(ldmHeap, 0, n)
+	for _, p := range times {
+		v := make([]float64, m) // ascending loads; only the last is non-zero
+		v[m-1] = p
+		h = append(h, v)
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).([]float64)
+		b := heap.Pop(&h).([]float64)
+		// Pair a's largest with b's smallest and vice versa: cancels the
+		// difference.
+		merged := make([]float64, m)
+		for i := 0; i < m; i++ {
+			merged[i] = a[i] + b[m-1-i]
+		}
+		sort.Float64s(merged)
+		heap.Push(&h, merged)
+	}
+	final := h[0]
+	return final[m-1] // makespan = largest load
+}
+
+// ldmHeap orders partial solutions by descending spread
+// (max load − min load).
+type ldmHeap [][]float64
+
+func (h ldmHeap) Len() int { return len(h) }
+func (h ldmHeap) Less(a, b int) bool {
+	sa := h[a][len(h[a])-1] - h[a][0]
+	sb := h[b][len(h[b])-1] - h[b][0]
+	return sa > sb
+}
+func (h ldmHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *ldmHeap) Push(x interface{}) { *h = append(*h, x.([]float64)) }
+func (h *ldmHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,97 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestKarmarkarKarpTrivial(t *testing.T) {
+	if got := KarmarkarKarp(nil, 3); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := KarmarkarKarp([]float64{2, 3}, 1); got != 5 {
+		t.Fatalf("m=1 = %v", got)
+	}
+	if got := KarmarkarKarp([]float64{7}, 3); got != 7 {
+		t.Fatalf("single task = %v", got)
+	}
+}
+
+func TestKarmarkarKarpBeatsLPTOnClassicInstance(t *testing.T) {
+	// {8,7,6,5,4} on 2 machines: LPT gives 17, LDM gives 16, optimum 15.
+	times := []float64{8, 7, 6, 5, 4}
+	lpt, _ := LPT(times, 2)
+	kk := KarmarkarKarp(times, 2)
+	if lpt != 17 {
+		t.Fatalf("LPT = %v, want 17 (sanity)", lpt)
+	}
+	if kk != 16 {
+		t.Fatalf("KK = %v, want 16", kk)
+	}
+}
+
+func TestKarmarkarKarpIsValidUpperBound(t *testing.T) {
+	// KK's value must always be achievable, i.e. ≥ the exact optimum,
+	// and ≥ every lower bound.
+	src := rng.New(91)
+	f := func(nRaw, mRaw uint8) bool {
+		n := int(nRaw%10) + 3
+		m := int(mRaw%4) + 2
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = src.Uniform(1, 40)
+		}
+		kk := KarmarkarKarp(times, m)
+		star, ok := Exact(times, m, 10_000_000)
+		if !ok {
+			return true
+		}
+		return kk >= star-1e-9 && kk >= LowerBound(times, m)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKarmarkarKarpConservesWork(t *testing.T) {
+	// The final partition's total load must equal Σp (no work lost in
+	// merging).
+	src := rng.New(93)
+	times := make([]float64, 50)
+	sum := 0.0
+	for i := range times {
+		times[i] = src.Uniform(1, 100)
+		sum += times[i]
+	}
+	const m = 4
+	kk := KarmarkarKarp(times, m)
+	// makespan ≥ average, ≤ sum.
+	if kk < sum/m-1e-9 || kk > sum+1e-9 {
+		t.Fatalf("KK %v outside [avg=%v, sum=%v]", kk, sum/m, sum)
+	}
+}
+
+func TestEstimateUsesKK(t *testing.T) {
+	// On the classic instance with the exact solver disabled (n >
+	// exactLimit... it's small, so force via exactLimit=1), the bracket
+	// upper must be ≤ KK's 16, not LPT's 17.
+	times := []float64{8, 7, 6, 5, 4}
+	r := Estimate(times, 2, 1)
+	if r.Upper > 16+1e-9 {
+		t.Fatalf("Estimate upper %v, want <= 16 (KK)", r.Upper)
+	}
+}
+
+func BenchmarkKarmarkarKarp1000(b *testing.B) {
+	src := rng.New(1)
+	times := make([]float64, 1000)
+	for i := range times {
+		times[i] = src.Uniform(1, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KarmarkarKarp(times, 16)
+	}
+}

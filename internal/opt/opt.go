@@ -1,0 +1,355 @@
+// Package opt estimates the offline optimal makespan C*_max of an
+// instance with known processing times. The paper's guarantees compare
+// an algorithm's makespan against C*_max, so the experiment harness
+// needs trustworthy values of it:
+//
+//   - combinatorial lower bounds (average load, largest task, and the
+//     general "k·m+1 largest tasks" pair bound);
+//   - an exact branch-and-bound solver, feasible for the small
+//     instances used in guarantee-validation tests;
+//   - MULTIFIT (Coffman, Garey, Johnson 1978), a dual-approximation
+//     upper bound with worst-case ratio 13/11; and
+//   - the LPT upper bound (4/3 − 1/(3m)).
+//
+// Estimate combines them into a bracketing interval and reports
+// whether the value is exact.
+package opt
+
+import (
+	"math"
+	"sort"
+)
+
+// SumLowerBound returns Σp / m.
+func SumLowerBound(times []float64, m int) float64 {
+	sum := 0.0
+	for _, p := range times {
+		sum += p
+	}
+	return sum / float64(m)
+}
+
+// MaxLowerBound returns max_j p_j.
+func MaxLowerBound(times []float64) float64 {
+	max := 0.0
+	for _, p := range times {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// PairLowerBound returns the strongest bound of the family: among the
+// k·m+1 largest tasks some machine must execute at least k+1 of them,
+// so C* ≥ sum of the k+1 smallest of those, for every k ≥ 1 with
+// k·m+1 ≤ n.
+func PairLowerBound(times []float64, m int) float64 {
+	n := len(times)
+	if n <= m {
+		return 0
+	}
+	desc := make([]float64, n)
+	copy(desc, times)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+
+	best := 0.0
+	for k := 1; k*m+1 <= n; k++ {
+		// The k·m+1 largest are desc[:k*m+1]; the k+1 smallest of those
+		// are desc[k*m-k : k*m+1].
+		sum := 0.0
+		for i := k*m - k; i <= k*m; i++ {
+			sum += desc[i]
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// LowerBound returns the best of the combinatorial lower bounds.
+func LowerBound(times []float64, m int) float64 {
+	lb := SumLowerBound(times, m)
+	if v := MaxLowerBound(times); v > lb {
+		lb = v
+	}
+	if v := PairLowerBound(times, m); v > lb {
+		lb = v
+	}
+	return lb
+}
+
+// LPT returns the makespan of Largest Processing Time first on the
+// given times, together with the task→machine mapping. LPT is a
+// (4/3 − 1/(3m))-approximation, so its makespan is a certified upper
+// bound on C*.
+func LPT(times []float64, m int) (float64, []int) {
+	order := make([]int, len(times))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return times[order[a]] > times[order[b]] })
+	loads := make([]float64, m)
+	mapping := make([]int, len(times))
+	for _, j := range order {
+		best := 0
+		for i := 1; i < m; i++ {
+			if loads[i] < loads[best] {
+				best = i
+			}
+		}
+		mapping[j] = best
+		loads[best] += times[j]
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max, mapping
+}
+
+// ffdFits reports whether first-fit-decreasing packs the tasks into m
+// bins of the given capacity. desc must be sorted non-increasing.
+func ffdFits(desc []float64, m int, capacity float64) bool {
+	const eps = 1e-12
+	bins := make([]float64, 0, m)
+	for _, p := range desc {
+		placed := false
+		for i := range bins {
+			if bins[i]+p <= capacity*(1+eps) {
+				bins[i] += p
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(bins) == m {
+				return false
+			}
+			if p > capacity*(1+eps) {
+				return false
+			}
+			bins = append(bins, p)
+		}
+	}
+	return true
+}
+
+// MultiFit runs the MULTIFIT algorithm with the given number of
+// binary-search iterations (13 suffices for ~1e-4 relative precision)
+// and returns a makespan achievable by FFD packing, which is an upper
+// bound on C* within a factor 13/11.
+func MultiFit(times []float64, m int, iterations int) float64 {
+	if iterations <= 0 {
+		iterations = 20
+	}
+	desc := make([]float64, len(times))
+	copy(desc, times)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+
+	lo := LowerBound(times, m)
+	hi, _ := LPT(times, m)
+	if ffdFits(desc, m, lo) {
+		return lo
+	}
+	// Invariant: FFD fits at hi, does not fit at lo.
+	for it := 0; it < iterations; it++ {
+		mid := (lo + hi) / 2
+		if ffdFits(desc, m, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Result describes an Estimate outcome.
+type Result struct {
+	// Lower and Upper bracket C*_max.
+	Lower, Upper float64
+	// Exact reports Lower == Upper up to floating-point tolerance,
+	// i.e. the value is the true optimum.
+	Exact bool
+	// Method names the source of the reported bracket: "trivial",
+	// "exact", or "bounds".
+	Method string
+}
+
+// Value returns the midpoint of the bracket — the point estimate of
+// C*_max experiments divide by.
+func (r Result) Value() float64 { return (r.Lower + r.Upper) / 2 }
+
+// Estimate brackets C*_max. Instances with n ≤ exactLimit tasks (after
+// quick trivial checks) are solved exactly by branch-and-bound;
+// larger ones get [LowerBound, min(MultiFit, LPT)]. exactLimit ≤ 0
+// selects the default of 20.
+func Estimate(times []float64, m int, exactLimit int) Result {
+	if exactLimit <= 0 {
+		exactLimit = 20
+	}
+	n := len(times)
+	if n == 0 {
+		return Result{Method: "trivial", Exact: true}
+	}
+	if m == 1 {
+		s := 0.0
+		for _, p := range times {
+			s += p
+		}
+		return Result{Lower: s, Upper: s, Exact: true, Method: "trivial"}
+	}
+	if n <= m {
+		v := MaxLowerBound(times)
+		return Result{Lower: v, Upper: v, Exact: true, Method: "trivial"}
+	}
+	lb := LowerBound(times, m)
+	ub, _ := LPT(times, m)
+	if mf := MultiFit(times, m, 24); mf < ub {
+		ub = mf
+	}
+	if kk := KarmarkarKarp(times, m); kk < ub {
+		ub = kk
+	}
+	if nearlyEqual(lb, ub) {
+		return Result{Lower: lb, Upper: lb, Exact: true, Method: "bounds"}
+	}
+	if n <= exactLimit {
+		if v, ok := Exact(times, m, 20_000_000); ok {
+			return Result{Lower: v, Upper: v, Exact: true, Method: "exact"}
+		}
+	}
+	// Mid-size instances: tighten the upper bound with the
+	// Hochbaum–Shmoys dual approximation (certified 1+eps factor).
+	if n <= 60 {
+		if v, ok := DualApprox(times, m, 0.1); ok && v < ub {
+			ub = v
+		}
+	}
+	return Result{Lower: lb, Upper: ub, Method: "bounds"}
+}
+
+func nearlyEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// Exact computes the optimal makespan by depth-first branch-and-bound
+// with symmetry breaking, seeded with the better of LPT and MULTIFIT.
+// It explores at most maxNodes search nodes and reports ok=false when
+// the budget is exhausted before the search space is closed.
+func Exact(times []float64, m int, maxNodes int) (float64, bool) {
+	n := len(times)
+	if n == 0 {
+		return 0, true
+	}
+	if m >= n {
+		return MaxLowerBound(times), true
+	}
+	desc := make([]float64, n)
+	copy(desc, times)
+	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+
+	// Suffix sums let the search bound the remaining work.
+	suffix := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + desc[i]
+	}
+	lb := LowerBound(times, m)
+	best, _ := LPT(times, m)
+	if mf := MultiFit(times, m, 24); mf < best {
+		best = mf
+	}
+	if nearlyEqual(best, lb) {
+		return best, true
+	}
+
+	loads := make([]float64, m)
+	nodes := 0
+	exhausted := false
+
+	var dfs func(j int)
+	dfs = func(j int) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			exhausted = true
+			return
+		}
+		if j == n {
+			max := 0.0
+			for _, l := range loads {
+				if l > max {
+					max = l
+				}
+			}
+			if max < best {
+				best = max
+			}
+			return
+		}
+		// Bound: even spreading the remaining work perfectly cannot beat
+		// the current best if the smallest load is already too high.
+		minLoad := loads[0]
+		for _, l := range loads[1:] {
+			if l < minLoad {
+				minLoad = l
+			}
+		}
+		if minLoad+desc[j] >= best-1e-12 {
+			return // every continuation exceeds the incumbent
+		}
+		if (suffix[j]+sum(loads))/float64(m) >= best-1e-12 && minLoad >= best-1e-12 {
+			return
+		}
+		seenEmpty := false
+		for i := 0; i < m; i++ {
+			if loads[i] == 0 {
+				if seenEmpty {
+					continue // machines are identical: one empty machine suffices
+				}
+				seenEmpty = true
+			}
+			if loads[i]+desc[j] >= best-1e-12 {
+				continue
+			}
+			// Symmetry: skip machines with the same load as an earlier one.
+			dup := false
+			for i2 := 0; i2 < i; i2++ {
+				if loads[i2] == loads[i] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			loads[i] += desc[j]
+			dfs(j + 1)
+			loads[i] -= desc[j]
+			if exhausted {
+				return
+			}
+			if nearlyEqual(best, lb) {
+				return // proved optimal
+			}
+		}
+	}
+	dfs(0)
+	if exhausted {
+		return best, false
+	}
+	return best, true
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

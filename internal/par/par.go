@@ -1,0 +1,69 @@
+// Package par provides a small deterministic fork–join helper for the
+// experiment harness: independent trials run concurrently on up to
+// GOMAXPROCS goroutines while results land at their input index, so
+// parallel runs are bit-identical to sequential ones. Determinism
+// additionally requires that the work function not share mutable
+// state — the harness achieves that by pre-drawing RNG seeds before
+// fanning out.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Map computes fn(0..n-1) concurrently and returns the results in
+// index order. workers > 0 sets the worker count explicitly;
+// workers ≤ 0 selects GOMAXPROCS. The count is always capped at n.
+// A panicking fn propagates to the caller.
+func Map[T any](n int, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	// Propagate the first panic after all workers stop.
+	var panicOnce sync.Once
+	var panicked interface{}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Drain remaining indices so the feeder can finish.
+					for range next {
+					}
+				}
+			}()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

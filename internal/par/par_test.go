@@ -1,0 +1,122 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	got := Map(100, 0, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0) = %v", got)
+	}
+	if got := Map(-3, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(-3) = %v", got)
+	}
+}
+
+func TestMapSingle(t *testing.T) {
+	got := Map(1, 0, func(i int) string { return "x" })
+	if len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Map(1) = %v", got)
+	}
+}
+
+func TestMapLimitRespected(t *testing.T) {
+	var active, peak int64
+	Map(64, 2, func(i int) int {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&active, -1)
+		return i
+	})
+	if p := atomic.LoadInt64(&peak); p > 2 {
+		t.Fatalf("peak concurrency %d exceeds limit 2", p)
+	}
+}
+
+func TestMapConcurrentWorkers(t *testing.T) {
+	// With an explicit worker count the pool path runs even on a
+	// single-core machine: sleeping workers overlap.
+	var peak, active int64
+	Map(16, 4, func(i int) int {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if cur <= old || atomic.CompareAndSwapInt64(&peak, old, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		atomic.AddInt64(&active, -1)
+		return i
+	})
+	if p := atomic.LoadInt64(&peak); p < 2 {
+		t.Fatalf("peak concurrency %d, want >= 2 with 4 workers", p)
+	}
+}
+
+func TestMapPanicPropagatesFromPool(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic not propagated from pool path")
+		}
+	}()
+	Map(32, 4, func(i int) int {
+		if i == 17 {
+			panic("boom")
+		}
+		time.Sleep(time.Millisecond)
+		return i
+	})
+}
+
+func TestMapDeterministicProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 200)
+		a := Map(n, 0, func(i int) int { return 31*i + 7 })
+		b := Map(n, 3, func(i int) int { return 31*i + 7 })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic not propagated")
+		}
+	}()
+	Map(32, 0, func(i int) int {
+		if i == 17 {
+			panic("boom")
+		}
+		return i
+	})
+}

@@ -1,0 +1,49 @@
+package placement
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// placementJSON is the wire form of a Placement.
+type placementJSON struct {
+	M       int     `json:"m"`
+	Sets    [][]int `json:"sets"`
+	Groups  [][]int `json:"groups,omitempty"`
+	GroupOf []int   `json:"group_of,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Placement) MarshalJSON() ([]byte, error) {
+	return json.Marshal(placementJSON{
+		M: p.M, Sets: p.Sets, Groups: p.Groups, GroupOf: p.GroupOf,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Structural validation is
+// deferred to Validate, which needs the instance.
+func (p *Placement) UnmarshalJSON(data []byte) error {
+	var w placementJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	p.M = w.M
+	p.Sets = w.Sets
+	p.Groups = w.Groups
+	p.GroupOf = w.GroupOf
+	return nil
+}
+
+// Write encodes the placement as JSON to w.
+func (p *Placement) Write(w io.Writer) error {
+	return json.NewEncoder(w).Encode(p)
+}
+
+// Read decodes a placement from JSON.
+func Read(r io.Reader) (*Placement, error) {
+	var p Placement
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,291 @@
+// Package placement represents the output of phase 1: for every task j
+// a replica set M_j ⊆ M of machines that hold the task's input data,
+// plus (for the group strategy) the partition of machines into groups.
+//
+// Phase 2 may only run task j on a machine in M_j. The package
+// validates the structural constraints of each replication strategy:
+//
+//   - no replication:       |M_j| = 1
+//   - replicate everywhere: |M_j| = m
+//   - replication bound k:  |M_j| ≤ k
+//   - groups:               M_j is exactly one of the k groups
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/task"
+)
+
+// Placement is a phase-1 decision.
+type Placement struct {
+	// M is the machine count.
+	M int
+	// Sets[j] lists the machines holding task j's data, sorted
+	// ascending without duplicates.
+	Sets [][]int
+	// Groups, when non-nil, partitions machines into groups; Groups[g]
+	// lists group g's machines. Only the group strategy sets it.
+	Groups [][]int
+	// GroupOf, when Groups is non-nil, maps each task to its group.
+	GroupOf []int
+}
+
+// Validation errors.
+var (
+	ErrShape        = errors.New("placement: wrong number of tasks or machines")
+	ErrEmptySet     = errors.New("placement: task has empty replica set")
+	ErrBadMachine   = errors.New("placement: replica set references invalid machine")
+	ErrUnsorted     = errors.New("placement: replica set not sorted or has duplicates")
+	ErrBound        = errors.New("placement: replica set exceeds replication bound")
+	ErrGroupShape   = errors.New("placement: groups do not partition the machines")
+	ErrGroupMapping = errors.New("placement: task replica set is not its group")
+)
+
+// New returns an empty placement for n tasks on m machines.
+func New(n, m int) *Placement {
+	return &Placement{M: m, Sets: make([][]int, n)}
+}
+
+// N returns the number of tasks covered by the placement.
+func (p *Placement) N() int { return len(p.Sets) }
+
+// Assign sets task j's replica set to exactly machine i.
+func (p *Placement) Assign(j, i int) {
+	p.Sets[j] = []int{i}
+}
+
+// AssignSet sets task j's replica set to a copy of machines, sorted
+// and deduplicated.
+func (p *Placement) AssignSet(j int, machines []int) {
+	set := make([]int, len(machines))
+	copy(set, machines)
+	sort.Ints(set)
+	out := set[:0]
+	for idx, mach := range set {
+		if idx == 0 || mach != set[idx-1] {
+			out = append(out, mach)
+		}
+	}
+	p.Sets[j] = out
+}
+
+// Everywhere places every task on all machines.
+func Everywhere(n, m int) *Placement {
+	p := New(n, m)
+	all := make([]int, m)
+	for i := range all {
+		all[i] = i
+	}
+	for j := range p.Sets {
+		p.Sets[j] = all // shared backing array: replica sets are read-only
+	}
+	return p
+}
+
+// MaxReplication returns max_j |M_j|.
+func (p *Placement) MaxReplication() int {
+	max := 0
+	for _, set := range p.Sets {
+		if len(set) > max {
+			max = len(set)
+		}
+	}
+	return max
+}
+
+// TotalReplicas returns Σ_j |M_j|, the total number of data copies.
+func (p *Placement) TotalReplicas() int {
+	total := 0
+	for _, set := range p.Sets {
+		total += len(set)
+	}
+	return total
+}
+
+// MemoryLoads returns, for each machine, the total size of the tasks
+// replicated on it: Mem_i = Σ_{j: i ∈ M_j} s_j (memory-aware model).
+func (p *Placement) MemoryLoads(in *task.Instance) []float64 {
+	loads := make([]float64, p.M)
+	for j, set := range p.Sets {
+		for _, i := range set {
+			loads[i] += in.Tasks[j].Size
+		}
+	}
+	return loads
+}
+
+// MaxMemory returns max_i Mem_i.
+func (p *Placement) MaxMemory(in *task.Instance) float64 {
+	max := 0.0
+	for _, l := range p.MemoryLoads(in) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// EstimatedLoads returns, for each machine, the summed estimates of
+// tasks whose replica set is exactly that machine (meaningful for
+// no-replication placements).
+func (p *Placement) EstimatedLoads(in *task.Instance) []float64 {
+	loads := make([]float64, p.M)
+	for j, set := range p.Sets {
+		if len(set) == 1 {
+			loads[set[0]] += in.Tasks[j].Estimate
+		}
+	}
+	return loads
+}
+
+// Validate checks structural soundness against the instance: one set
+// per task, sets non-empty, machine indices valid, sets sorted and
+// duplicate-free, and group bookkeeping consistent when present.
+func (p *Placement) Validate(in *task.Instance) error {
+	if len(p.Sets) != in.N() || p.M != in.M {
+		return fmt.Errorf("%w: placement %dx%d vs instance %dx%d",
+			ErrShape, len(p.Sets), p.M, in.N(), in.M)
+	}
+	for j, set := range p.Sets {
+		if len(set) == 0 {
+			return fmt.Errorf("%w: task %d", ErrEmptySet, j)
+		}
+		for idx, i := range set {
+			if i < 0 || i >= p.M {
+				return fmt.Errorf("%w: task %d machine %d", ErrBadMachine, j, i)
+			}
+			if idx > 0 && set[idx-1] >= i {
+				return fmt.Errorf("%w: task %d", ErrUnsorted, j)
+			}
+		}
+	}
+	if p.Groups != nil {
+		if err := p.validateGroups(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Placement) validateGroups() error {
+	seen := make([]bool, p.M)
+	count := 0
+	for g, ms := range p.Groups {
+		if len(ms) == 0 {
+			return fmt.Errorf("%w: group %d empty", ErrGroupShape, g)
+		}
+		for _, i := range ms {
+			if i < 0 || i >= p.M || seen[i] {
+				return fmt.Errorf("%w: group %d machine %d", ErrGroupShape, g, i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != p.M {
+		return fmt.Errorf("%w: %d machines covered of %d", ErrGroupShape, count, p.M)
+	}
+	if len(p.GroupOf) != len(p.Sets) {
+		return fmt.Errorf("%w: GroupOf has %d entries for %d tasks",
+			ErrGroupMapping, len(p.GroupOf), len(p.Sets))
+	}
+	for j, g := range p.GroupOf {
+		if g < 0 || g >= len(p.Groups) {
+			return fmt.Errorf("%w: task %d group %d", ErrGroupMapping, j, g)
+		}
+		if !equalSets(p.Sets[j], p.Groups[g]) {
+			return fmt.Errorf("%w: task %d", ErrGroupMapping, j)
+		}
+	}
+	return nil
+}
+
+// CheckBound verifies the replication-bound constraint |M_j| ≤ k.
+func (p *Placement) CheckBound(k int) error {
+	for j, set := range p.Sets {
+		if len(set) > k {
+			return fmt.Errorf("%w: task %d has %d replicas, bound %d", ErrBound, j, len(set), k)
+		}
+	}
+	return nil
+}
+
+func equalSets(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := make([]int, len(b))
+	copy(bs, b)
+	sort.Ints(bs)
+	for i := range a {
+		if a[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleMachineOf returns, for each task, the single machine of its
+// replica set, or an error if any task is replicated. It is the bridge
+// to uncertainty.Context.Preferred for adversarial perturbations of
+// no-replication placements.
+func (p *Placement) SingleMachineOf() ([]int, error) {
+	out := make([]int, len(p.Sets))
+	for j, set := range p.Sets {
+		if len(set) != 1 {
+			return nil, fmt.Errorf("placement: task %d has %d replicas, want 1", j, len(set))
+		}
+		out[j] = set[0]
+	}
+	return out, nil
+}
+
+// PartitionGroups splits m machines into k equal contiguous groups.
+// It returns an error unless k divides m (the paper's simplifying
+// assumption) and 1 ≤ k ≤ m.
+func PartitionGroups(m, k int) ([][]int, error) {
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("placement: k=%d out of range [1, %d]", k, m)
+	}
+	if m%k != 0 {
+		return nil, fmt.Errorf("placement: k=%d does not divide m=%d", k, m)
+	}
+	size := m / k
+	groups := make([][]int, k)
+	for g := 0; g < k; g++ {
+		ms := make([]int, size)
+		for i := range ms {
+			ms[i] = g*size + i
+		}
+		groups[g] = ms
+	}
+	return groups, nil
+}
+
+// PartitionGroupsBalanced splits m machines into k contiguous groups
+// whose sizes differ by at most one (the first m mod k groups get the
+// extra machine) — the generalization the paper's "k divides m"
+// assumption sidesteps. It requires 1 ≤ k ≤ m.
+func PartitionGroupsBalanced(m, k int) ([][]int, error) {
+	if k < 1 || k > m {
+		return nil, fmt.Errorf("placement: k=%d out of range [1, %d]", k, m)
+	}
+	groups := make([][]int, k)
+	next := 0
+	for g := 0; g < k; g++ {
+		size := m / k
+		if g < m%k {
+			size++
+		}
+		ms := make([]int, size)
+		for i := range ms {
+			ms[i] = next
+			next++
+		}
+		groups[g] = ms
+	}
+	return groups, nil
+}

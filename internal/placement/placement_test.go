@@ -1,0 +1,258 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func inst(t *testing.T, n, m int) *task.Instance {
+	t.Helper()
+	est := make([]float64, n)
+	for i := range est {
+		est[i] = float64(i + 1)
+	}
+	in, err := task.NewEstimated(m, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestAssignAndValidate(t *testing.T) {
+	in := inst(t, 4, 3)
+	p := New(4, 3)
+	for j := 0; j < 4; j++ {
+		p.Assign(j, j%3)
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxReplication() != 1 || p.TotalReplicas() != 4 {
+		t.Fatalf("replication counts wrong: max=%d total=%d", p.MaxReplication(), p.TotalReplicas())
+	}
+}
+
+func TestAssignSetSortsAndDedups(t *testing.T) {
+	p := New(1, 5)
+	p.AssignSet(0, []int{3, 1, 3, 0})
+	want := []int{0, 1, 3}
+	if len(p.Sets[0]) != len(want) {
+		t.Fatalf("got %v", p.Sets[0])
+	}
+	for i, v := range want {
+		if p.Sets[0][i] != v {
+			t.Fatalf("got %v, want %v", p.Sets[0], want)
+		}
+	}
+}
+
+func TestEverywhere(t *testing.T) {
+	in := inst(t, 3, 4)
+	p := Everywhere(3, 4)
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxReplication() != 4 || p.TotalReplicas() != 12 {
+		t.Fatalf("everywhere counts: max=%d total=%d", p.MaxReplication(), p.TotalReplicas())
+	}
+}
+
+func TestValidateCatchesEmptySet(t *testing.T) {
+	in := inst(t, 2, 2)
+	p := New(2, 2)
+	p.Assign(0, 0)
+	err := p.Validate(in)
+	if !errors.Is(err, ErrEmptySet) {
+		t.Fatalf("got %v, want ErrEmptySet", err)
+	}
+}
+
+func TestValidateCatchesBadMachine(t *testing.T) {
+	in := inst(t, 1, 2)
+	p := New(1, 2)
+	p.Sets[0] = []int{5}
+	if err := p.Validate(in); !errors.Is(err, ErrBadMachine) {
+		t.Fatalf("got %v, want ErrBadMachine", err)
+	}
+	p.Sets[0] = []int{-1}
+	if err := p.Validate(in); !errors.Is(err, ErrBadMachine) {
+		t.Fatalf("got %v, want ErrBadMachine", err)
+	}
+}
+
+func TestValidateCatchesUnsorted(t *testing.T) {
+	in := inst(t, 1, 3)
+	p := New(1, 3)
+	p.Sets[0] = []int{2, 1}
+	if err := p.Validate(in); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("got %v, want ErrUnsorted", err)
+	}
+	p.Sets[0] = []int{1, 1}
+	if err := p.Validate(in); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("got %v, want ErrUnsorted", err)
+	}
+}
+
+func TestValidateCatchesShapeMismatch(t *testing.T) {
+	in := inst(t, 3, 2)
+	p := New(2, 2)
+	p.Assign(0, 0)
+	p.Assign(1, 1)
+	if err := p.Validate(in); !errors.Is(err, ErrShape) {
+		t.Fatalf("got %v, want ErrShape", err)
+	}
+}
+
+func TestCheckBound(t *testing.T) {
+	p := New(2, 4)
+	p.AssignSet(0, []int{0, 1})
+	p.AssignSet(1, []int{0, 1, 2})
+	if err := p.CheckBound(3); err != nil {
+		t.Fatalf("bound 3 rejected: %v", err)
+	}
+	if err := p.CheckBound(2); !errors.Is(err, ErrBound) {
+		t.Fatalf("got %v, want ErrBound", err)
+	}
+}
+
+func TestPartitionGroups(t *testing.T) {
+	groups, err := PartitionGroups(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 3 || len(groups[1]) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[1][0] != 3 {
+		t.Fatalf("second group starts at %d, want 3", groups[1][0])
+	}
+}
+
+func TestPartitionGroupsRejectsNonDivisors(t *testing.T) {
+	if _, err := PartitionGroups(6, 4); err == nil {
+		t.Fatal("k=4, m=6 accepted")
+	}
+	if _, err := PartitionGroups(6, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := PartitionGroups(6, 7); err == nil {
+		t.Fatal("k>m accepted")
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	in := inst(t, 4, 6)
+	groups, _ := PartitionGroups(6, 2)
+	p := New(4, 6)
+	p.Groups = groups
+	p.GroupOf = []int{0, 1, 0, 1}
+	for j, g := range p.GroupOf {
+		p.AssignSet(j, groups[g])
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the mapping: task 0 claims group 0 but sits in group 1's
+	// machines.
+	p.AssignSet(0, groups[1])
+	if err := p.Validate(in); !errors.Is(err, ErrGroupMapping) {
+		t.Fatalf("got %v, want ErrGroupMapping", err)
+	}
+}
+
+func TestGroupValidationCatchesNonPartition(t *testing.T) {
+	in := inst(t, 1, 4)
+	p := New(1, 4)
+	p.Assign(0, 0)
+	p.Groups = [][]int{{0, 1}, {1, 2}} // overlap, and machine 3 uncovered
+	p.GroupOf = []int{0}
+	p.AssignSet(0, p.Groups[0])
+	if err := p.Validate(in); !errors.Is(err, ErrGroupShape) {
+		t.Fatalf("got %v, want ErrGroupShape", err)
+	}
+}
+
+func TestMemoryLoads(t *testing.T) {
+	in := inst(t, 3, 2)
+	if err := in.SetSizes([]float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(3, 2)
+	p.Assign(0, 0)              // 10 on machine 0
+	p.AssignSet(1, []int{0, 1}) // 20 on both
+	p.Assign(2, 1)              // 30 on machine 1
+	loads := p.MemoryLoads(in)
+	if loads[0] != 30 || loads[1] != 50 {
+		t.Fatalf("memory loads = %v, want [30 50]", loads)
+	}
+	if p.MaxMemory(in) != 50 {
+		t.Fatalf("MaxMemory = %v, want 50", p.MaxMemory(in))
+	}
+}
+
+func TestEstimatedLoads(t *testing.T) {
+	in := inst(t, 3, 2) // estimates 1, 2, 3
+	p := New(3, 2)
+	p.Assign(0, 0)
+	p.Assign(1, 1)
+	p.Assign(2, 1)
+	loads := p.EstimatedLoads(in)
+	if loads[0] != 1 || loads[1] != 5 {
+		t.Fatalf("estimated loads = %v", loads)
+	}
+}
+
+func TestSingleMachineOf(t *testing.T) {
+	p := New(2, 3)
+	p.Assign(0, 2)
+	p.Assign(1, 0)
+	pref, err := p.SingleMachineOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref[0] != 2 || pref[1] != 0 {
+		t.Fatalf("pref = %v", pref)
+	}
+	p.AssignSet(1, []int{0, 1})
+	if _, err := p.SingleMachineOf(); err == nil {
+		t.Fatal("replicated placement accepted")
+	}
+}
+
+func TestPartitionGroupsProperty(t *testing.T) {
+	f := func(mRaw, kRaw uint8) bool {
+		m := int(mRaw%64) + 1
+		k := int(kRaw%uint8(m)) + 1
+		groups, err := PartitionGroups(m, k)
+		if m%k != 0 {
+			return err != nil
+		}
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, g := range groups {
+			if len(g) != m/k {
+				return false
+			}
+			for _, i := range g {
+				if seen[i] {
+					return false
+				}
+				seen[i] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// PlotOptions configures an ASCII plot.
+type PlotOptions struct {
+	// Width and Height are the canvas size in characters (defaults
+	// 72×20).
+	Width, Height int
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// LogX plots the x axis on a log10 scale.
+	LogX bool
+}
+
+// Plot renders the series as an ASCII scatter plot with axes and a
+// legend. Points outside the (auto-scaled) range are clamped to the
+// border. Series are distinguished by marker characters; when two
+// series hit the same cell the later one wins.
+func Plot(w io.Writer, series []bounds.Series, opts PlotOptions) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			total++
+		}
+	}
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Sort by X so line interpolation is well defined.
+		pts := append([]bounds.Point(nil), s.Points...)
+		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		var prevC, prevR = -1, -1
+		for _, p := range pts {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+			r := int(math.Round((ymax - p.Y) / (ymax - ymin) * float64(height-1)))
+			c = clamp(c, 0, width-1)
+			r = clamp(r, 0, height-1)
+			if prevC >= 0 && len(pts) > 1 {
+				drawLine(grid, prevC, prevR, c, r, mark)
+			}
+			grid[r][c] = mark
+			prevC, prevR = c, r
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for r := 0; r < height; r++ {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%8.3g", ymax)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	lo, hi := xmin, xmax
+	if opts.LogX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+	}
+	axis := fmt.Sprintf("%.3g", lo)
+	right := fmt.Sprintf("%.3g", hi)
+	pad := width - len(axis) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", 8), axis, strings.Repeat(" ", pad), right)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opts.XLabel)
+	}
+	b.WriteByte('\n')
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// drawLine draws a Bresenham segment with a dim connector character,
+// leaving endpoint markers to the caller.
+func drawLine(grid [][]byte, c0, r0, c1, r1 int, mark byte) {
+	dc := abs(c1 - c0)
+	dr := -abs(r1 - r0)
+	sc := sign(c1 - c0)
+	sr := sign(r1 - r0)
+	err := dc + dr
+	c, r := c0, r0
+	for {
+		if grid[r][c] == ' ' {
+			grid[r][c] = dimOf(mark)
+		}
+		if c == c1 && r == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r += sr
+		}
+	}
+}
+
+// dimOf maps a marker to its connector character.
+func dimOf(mark byte) byte {
+	switch mark {
+	case '*':
+		return '.'
+	case 'o':
+		return ':'
+	default:
+		return '\''
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.23456789)
+	tb.AddRow("beta", "x")
+	out := tb.String()
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	if !strings.Contains(out, "1.235") {
+		t.Fatalf("float not %%.4g-formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("longvaluehere", 1)
+	tb.AddRow("x", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// Column b must start at the same offset in both data rows.
+	idx2 := strings.Index(lines[2], "1")
+	idx3 := strings.Index(lines[3], "2")
+	if idx2 != idx3 {
+		t.Fatalf("misaligned columns:\n%s", tb.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2.5\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func sampleSeries() []bounds.Series {
+	return []bounds.Series{
+		{Name: "up", Points: []bounds.Point{{X: 1, Y: 1}, {X: 10, Y: 10}}},
+		{Name: "down", Points: []bounds.Point{{X: 1, Y: 10}, {X: 10, Y: 1}}},
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := Plot(&buf, sampleSeries(), PlotOptions{Title: "demo", XLabel: "xx", YLabel: "yy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "xx", "yy", "up", "down", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	series := []bounds.Series{{
+		Name:   "curve",
+		Points: []bounds.Point{{X: 1, Y: 1}, {X: 100, Y: 2}, {X: 10000, Y: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := Plot(&buf, series, PlotOptions{LogX: true, Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Axis endpoints must be in original (non-log) units.
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Plot(&buf, nil, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatalf("empty plot output: %q", buf.String())
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	series := []bounds.Series{{Name: "pt", Points: []bounds.Point{{X: 5, Y: 5}}}}
+	var buf bytes.Buffer
+	if err := Plot(&buf, series, PlotOptions{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatalf("single point not plotted:\n%s", buf.String())
+	}
+}
+
+func TestPlotClampsOutliers(t *testing.T) {
+	// All points identical in X: degenerate range must not panic.
+	series := []bounds.Series{{Name: "flat", Points: []bounds.Point{{X: 3, Y: 1}, {X: 3, Y: 2}}}}
+	var buf bytes.Buffer
+	if err := Plot(&buf, series, PlotOptions{Width: 20, Height: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+// SVGPlotOptions configures WriteSVGPlot.
+type SVGPlotOptions struct {
+	// Width and Height are pixel dimensions (defaults 640×400).
+	Width, Height int
+	// Title, XLabel and YLabel annotate the plot.
+	Title, XLabel, YLabel string
+	// LogX plots the x axis on a log10 scale.
+	LogX bool
+}
+
+// seriesColors are Okabe–Ito hues assigned to series in order.
+var seriesColors = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#999999",
+}
+
+// WriteSVGPlot renders the series as a self-contained SVG line chart
+// with axes, tick labels, and a legend — the publication-quality
+// counterpart of Plot. Single-point series render as markers only.
+func WriteSVGPlot(w io.Writer, series []bounds.Series, opts SVGPlotOptions) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 640
+	}
+	height := opts.Height
+	if height <= 0 {
+		height = 400
+	}
+	const marginL, marginR, marginT, marginB = 64, 16, 36, 48
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	total := 0
+	tx := func(x float64) (float64, bool) {
+		if opts.LogX {
+			if x <= 0 {
+				return 0, false
+			}
+			return math.Log10(x), true
+		}
+		return x, true
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			x, ok := tx(p.X)
+			if !ok {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			total++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if total == 0 {
+		fmt.Fprintf(&b, `<text x="20" y="40">no data</text></svg>`+"\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little vertical headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	px := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (ymax-y)/(ymax-ymin)*plotH }
+
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14">%s</text>`+"\n",
+			marginL, escapeXML(opts.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, py(ymin), width-marginR, py(ymin))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, py(ymin), marginL, py(ymax))
+
+	// Ticks: 5 per axis, de-logged labels on log-x.
+	for i := 0; i <= 4; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/4
+		label := fx
+		if opts.LogX {
+			label = math.Pow(10, fx)
+		}
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(fx), py(ymin), px(fx), py(ymin)+4)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%.3g</text>`+"\n",
+			px(fx), py(ymin)+18, label)
+
+		fy := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+			marginL-4, py(fy), marginL, py(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end">%.3g</text>`+"\n",
+			marginL-8, py(fy)+4, fy)
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, height-10, escapeXML(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escapeXML(opts.YLabel))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := seriesColors[si%len(seriesColors)]
+		pts := append([]bounds.Point(nil), s.Points...)
+		sort.Slice(pts, func(a, c int) bool { return pts[a].X < pts[c].X })
+		var path strings.Builder
+		drawn := 0
+		for _, p := range pts {
+			x, ok := tx(p.X)
+			if !ok {
+				continue
+			}
+			cmd := "L"
+			if drawn == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.2f %.2f ", cmd, px(x), py(p.Y))
+			drawn++
+		}
+		if drawn > 1 {
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+				strings.TrimSpace(path.String()), color)
+		}
+		for _, p := range pts {
+			x, ok := tx(p.X)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="3" fill="%s"/>`+"\n",
+				px(x), py(p.Y), color)
+		}
+		// Legend entry.
+		ly := marginT + 8 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			width-marginR-135, ly+9, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeXML is shared with the schedule SVG writer via duplication to
+// keep report dependency-free of sched.
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bounds"
+)
+
+func TestWriteSVGPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteSVGPlot(&buf, sampleSeries(), SVGPlotOptions{
+		Title: "demo <plot>", XLabel: "x", YLabel: "y",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "demo &lt;plot&gt;", "<path", "<circle", "up", "down"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG plot missing %q", want)
+		}
+	}
+}
+
+func TestWriteSVGPlotLogX(t *testing.T) {
+	series := []bounds.Series{{
+		Name:   "curve",
+		Points: []bounds.Point{{X: 1, Y: 1}, {X: 100, Y: 2}, {X: 10000, Y: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSVGPlot(&buf, series, SVGPlotOptions{LogX: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The de-logged tick labels must include the top decade.
+	if !strings.Contains(buf.String(), "1e+04") {
+		t.Fatalf("log tick labels missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteSVGPlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVGPlot(&buf, nil, SVGPlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+}
+
+func TestWriteSVGPlotSinglePointSeries(t *testing.T) {
+	series := []bounds.Series{{Name: "pt", Points: []bounds.Point{{X: 5, Y: 5}}}}
+	var buf bytes.Buffer
+	if err := WriteSVGPlot(&buf, series, SVGPlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<path") {
+		t.Fatal("single point drew a path")
+	}
+	if !strings.Contains(out, "<circle") {
+		t.Fatal("single point missing marker")
+	}
+}
+
+func TestWriteSVGPlotSkipsNonPositiveLogX(t *testing.T) {
+	series := []bounds.Series{{
+		Name:   "mixed",
+		Points: []bounds.Point{{X: -1, Y: 1}, {X: 10, Y: 2}, {X: 100, Y: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteSVGPlot(&buf, series, SVGPlotOptions{LogX: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Two valid points → still a path.
+	if !strings.Contains(buf.String(), "<path") {
+		t.Fatal("valid points not drawn")
+	}
+}

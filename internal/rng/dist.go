@@ -1,0 +1,89 @@
+package rng
+
+import "math"
+
+// Zipf draws integers in [1, n] with probability proportional to
+// 1/rank^theta. It precomputes the cumulative distribution, so a value
+// is drawn in O(log n) by binary search. theta = 0 degenerates to the
+// uniform distribution on [1, n].
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent theta.
+// It panics if n <= 0 or theta < 0.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf called with n <= 0")
+	}
+	if theta < 0 {
+		panic("rng: NewZipf called with theta < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	// Guard against floating-point shortfall at the top end.
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns a rank in [1, N] following the Zipf law.
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// BoundedFactor draws a multiplicative perturbation factor in
+// [1/alpha, alpha]. The logarithm of the factor is uniform, so inflation
+// and deflation are symmetric: E[log factor] = 0. It panics if
+// alpha < 1.
+func (s *Source) BoundedFactor(alpha float64) float64 {
+	if alpha < 1 {
+		panic("rng: BoundedFactor called with alpha < 1")
+	}
+	if alpha == 1 {
+		return 1
+	}
+	logA := math.Log(alpha)
+	return math.Exp(s.Uniform(-logA, logA))
+}
+
+// ClampedLogNormalFactor draws exp(N(0, sigma^2)) clamped to
+// [1/alpha, alpha]. It models the common case where most tasks deviate
+// only slightly from their estimates while the model's worst-case bound
+// alpha still holds. It panics if alpha < 1 or sigma < 0.
+func (s *Source) ClampedLogNormalFactor(alpha, sigma float64) float64 {
+	if alpha < 1 {
+		panic("rng: ClampedLogNormalFactor called with alpha < 1")
+	}
+	if sigma < 0 {
+		panic("rng: ClampedLogNormalFactor called with sigma < 0")
+	}
+	f := s.LogNormal(0, sigma)
+	if f < 1/alpha {
+		return 1 / alpha
+	}
+	if f > alpha {
+		return alpha
+	}
+	return f
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// scheduleJSON is the wire form of a Schedule: parallel arrays keyed
+// by task ID, compact for large schedules and easy to load from
+// plotting scripts.
+type scheduleJSON struct {
+	M        int       `json:"m"`
+	Machines []int     `json:"machines"`
+	Starts   []float64 `json:"starts"`
+	Ends     []float64 `json:"ends"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	w := scheduleJSON{
+		M:        s.M,
+		Machines: make([]int, len(s.Assignments)),
+		Starts:   make([]float64, len(s.Assignments)),
+		Ends:     make([]float64, len(s.Assignments)),
+	}
+	for j, a := range s.Assignments {
+		if a.Task != j {
+			return nil, fmt.Errorf("sched: assignment %d holds task %d", j, a.Task)
+		}
+		w.Machines[j] = a.Machine
+		w.Starts[j] = a.Start
+		w.Ends[j] = a.End
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var w scheduleJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if len(w.Machines) != len(w.Starts) || len(w.Starts) != len(w.Ends) {
+		return fmt.Errorf("sched: inconsistent array lengths %d/%d/%d",
+			len(w.Machines), len(w.Starts), len(w.Ends))
+	}
+	s.M = w.M
+	s.Assignments = make([]Assignment, len(w.Machines))
+	for j := range w.Machines {
+		s.Assignments[j] = Assignment{
+			Task: j, Machine: w.Machines[j], Start: w.Starts[j], End: w.Ends[j],
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the schedule to w.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// ReadJSON decodes a schedule from r. Feasibility is not checked;
+// call Verify with the instance and placement for that.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := inst(t, 2, 3, 1, 2)
+	s, err := FromMapping(in, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M != s.M || len(got.Assignments) != len(s.Assignments) {
+		t.Fatalf("shape changed: %+v", got)
+	}
+	for j := range s.Assignments {
+		if got.Assignments[j] != s.Assignments[j] {
+			t.Fatalf("assignment %d changed: %+v vs %+v", j, got.Assignments[j], s.Assignments[j])
+		}
+	}
+	if err := got.Verify(in, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"m":2,"machines":[0],"starts":[],"ends":[]}`)); err == nil {
+		t.Fatal("inconsistent arrays accepted")
+	}
+}
+
+func TestScheduleJSONRejectsCorruptAssignments(t *testing.T) {
+	s := New(1, 1)
+	s.Assignments[0] = Assignment{Task: 5} // wrong ID
+	if _, err := s.MarshalJSON(); err == nil {
+		t.Fatal("corrupt assignment serialized")
+	}
+}

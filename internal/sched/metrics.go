@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Metrics summarizes an executed schedule beyond the makespan. All
+// quantities use actual (executed) durations.
+type Metrics struct {
+	// Makespan is the completion time of the last task.
+	Makespan float64
+	// TotalWork is Σ p_j.
+	TotalWork float64
+	// AvgLoad is TotalWork / m, the lower bound on the makespan.
+	AvgLoad float64
+	// Imbalance is Makespan/AvgLoad − 1 (0 = perfectly balanced).
+	Imbalance float64
+	// Utilization is TotalWork / (m · Makespan) ∈ (0, 1]: the busy
+	// fraction of the machine-time rectangle.
+	Utilization float64
+	// IdleTime is m·Makespan − TotalWork: machine-time wasted waiting.
+	IdleTime float64
+	// SumFlow is Σ C_j (total completion time), the responsiveness
+	// metric of queueing-oriented analyses.
+	SumFlow float64
+	// MaxStart is the latest task start time.
+	MaxStart float64
+}
+
+// ComputeMetrics derives the metric set from the schedule.
+func (s *Schedule) ComputeMetrics() Metrics {
+	var m Metrics
+	for _, a := range s.Assignments {
+		dur := a.End - a.Start
+		m.TotalWork += dur
+		m.SumFlow += a.End
+		if a.End > m.Makespan {
+			m.Makespan = a.End
+		}
+		if a.Start > m.MaxStart {
+			m.MaxStart = a.Start
+		}
+	}
+	if s.M > 0 {
+		m.AvgLoad = m.TotalWork / float64(s.M)
+	}
+	if m.AvgLoad > 0 {
+		m.Imbalance = m.Makespan/m.AvgLoad - 1
+	}
+	if m.Makespan > 0 && s.M > 0 {
+		m.Utilization = m.TotalWork / (float64(s.M) * m.Makespan)
+		m.IdleTime = float64(s.M)*m.Makespan - m.TotalWork
+	}
+	return m
+}
+
+// String renders the metric set on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("makespan=%.4g util=%.3f imbalance=%.3f idle=%.4g sumflow=%.4g",
+		m.Makespan, m.Utilization, m.Imbalance, m.IdleTime, m.SumFlow)
+}
+
+// MachineStat describes one machine's share of the schedule.
+type MachineStat struct {
+	// Machine is the machine index.
+	Machine int
+	// Tasks is the number of tasks executed.
+	Tasks int
+	// Load is the total busy time.
+	Load float64
+	// LastEnd is the machine's final completion time.
+	LastEnd float64
+	// Idle is LastEnd − Load: gaps before the machine went quiet.
+	Idle float64
+}
+
+// MachineStats returns per-machine statistics, indexed by machine.
+func (s *Schedule) MachineStats() []MachineStat {
+	stats := make([]MachineStat, s.M)
+	for i := range stats {
+		stats[i].Machine = i
+	}
+	for _, a := range s.Assignments {
+		st := &stats[a.Machine]
+		st.Tasks++
+		st.Load += a.End - a.Start
+		if a.End > st.LastEnd {
+			st.LastEnd = a.End
+		}
+	}
+	for i := range stats {
+		stats[i].Idle = stats[i].LastEnd - stats[i].Load
+	}
+	return stats
+}
+
+// CriticalPath returns the tasks of the machine that determines the
+// makespan, in execution order — the chain an operator would inspect
+// first when debugging a slow run.
+func (s *Schedule) CriticalPath() []Assignment {
+	makespan := s.Makespan()
+	critical := -1
+	for _, a := range s.Assignments {
+		if a.End == makespan {
+			critical = a.Machine
+			break
+		}
+	}
+	if critical < 0 {
+		return nil
+	}
+	var out []Assignment
+	for _, a := range s.Assignments {
+		if a.Machine == critical {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}

@@ -1,0 +1,189 @@
+// Package sched represents the output of phase 2: an executed
+// schedule, i.e. for every task the machine that ran it and its start
+// and completion times (using actual processing times). It computes
+// the paper's objectives — makespan C_max = max_i Σ_{j∈E_i} p_j and
+// memory occupation Mem_max — and verifies feasibility against a
+// phase-1 placement.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/task"
+)
+
+// Assignment records one executed task.
+type Assignment struct {
+	// Task is the task ID.
+	Task int
+	// Machine is the machine that executed the task.
+	Machine int
+	// Start is the time execution began.
+	Start float64
+	// End is the completion time; End-Start is the actual processing
+	// time p_j.
+	End float64
+}
+
+// Schedule is an executed phase-2 schedule.
+type Schedule struct {
+	// M is the machine count.
+	M int
+	// Assignments holds one entry per task, indexed by task ID.
+	Assignments []Assignment
+}
+
+// Verification errors.
+var (
+	ErrShapeMismatch  = errors.New("sched: schedule shape does not match instance")
+	ErrBadDuration    = errors.New("sched: assignment duration differs from actual time")
+	ErrOverlap        = errors.New("sched: two tasks overlap on one machine")
+	ErrOutsideReplica = errors.New("sched: task ran on a machine outside its replica set")
+	ErrNegativeTime   = errors.New("sched: negative start time")
+)
+
+// New returns a schedule shell for n tasks on m machines.
+func New(n, m int) *Schedule {
+	return &Schedule{M: m, Assignments: make([]Assignment, n)}
+}
+
+// Makespan returns max over machines of the last completion time,
+// which for contiguous schedules equals max_i Σ_{j ∈ E_i} p_j.
+func (s *Schedule) Makespan() float64 {
+	max := 0.0
+	for _, a := range s.Assignments {
+		if a.End > max {
+			max = a.End
+		}
+	}
+	return max
+}
+
+// Loads returns per-machine total actual processing time.
+func (s *Schedule) Loads() []float64 {
+	loads := make([]float64, s.M)
+	for _, a := range s.Assignments {
+		loads[a.Machine] += a.End - a.Start
+	}
+	return loads
+}
+
+// MachineOf returns the executing machine of each task.
+func (s *Schedule) MachineOf() []int {
+	out := make([]int, len(s.Assignments))
+	for j, a := range s.Assignments {
+		out[j] = a.Machine
+	}
+	return out
+}
+
+// Imbalance returns C_max · m / Σp_j − 1: zero for a perfectly
+// balanced schedule, growing with the gap between the longest machine
+// and the average.
+func (s *Schedule) Imbalance() float64 {
+	total := 0.0
+	for _, a := range s.Assignments {
+		total += a.End - a.Start
+	}
+	if total == 0 {
+		return 0
+	}
+	return s.Makespan()*float64(s.M)/total - 1
+}
+
+// Verify checks that the schedule is a feasible execution of the
+// instance under the placement:
+//
+//   - one assignment per task, machines in range, starts ≥ 0;
+//   - each duration equals the task's actual processing time;
+//   - tasks on one machine do not overlap in time;
+//   - every task runs on a machine in its replica set (when p != nil).
+func (s *Schedule) Verify(in *task.Instance, p *placement.Placement) error {
+	return s.VerifyDurations(in, p, nil)
+}
+
+// VerifyDurations is Verify with a custom expected-duration function,
+// for schedules executed under a duration model other than the plain
+// actual times (e.g. remote execution with a fetch penalty). A nil
+// dur means the task's actual time on any machine. When dur is
+// non-nil the replica-set check is skipped for tasks whose machine is
+// outside M_j — running remotely is the point of such models — unless
+// p is nil anyway.
+func (s *Schedule) VerifyDurations(in *task.Instance, p *placement.Placement,
+	dur func(taskID, machine int) float64) error {
+	if len(s.Assignments) != in.N() || s.M != in.M {
+		return fmt.Errorf("%w: schedule %dx%d vs instance %dx%d",
+			ErrShapeMismatch, len(s.Assignments), s.M, in.N(), in.M)
+	}
+	const tol = 1e-9
+	perMachine := make([][]Assignment, s.M)
+	for j, a := range s.Assignments {
+		if a.Task != j {
+			return fmt.Errorf("%w: assignment %d has task %d", ErrShapeMismatch, j, a.Task)
+		}
+		if a.Machine < 0 || a.Machine >= s.M {
+			return fmt.Errorf("%w: task %d machine %d", ErrShapeMismatch, j, a.Machine)
+		}
+		if a.Start < -tol {
+			return fmt.Errorf("%w: task %d starts at %v", ErrNegativeTime, j, a.Start)
+		}
+		got := a.End - a.Start
+		want := in.Tasks[j].Actual
+		if dur != nil {
+			want = dur(j, a.Machine)
+		}
+		if math.Abs(got-want) > tol*math.Max(1, want) {
+			return fmt.Errorf("%w: task %d ran %v, expected %v", ErrBadDuration, j, got, want)
+		}
+		if p != nil && dur == nil && !contains(p.Sets[j], a.Machine) {
+			return fmt.Errorf("%w: task %d on machine %d, replicas %v",
+				ErrOutsideReplica, j, a.Machine, p.Sets[j])
+		}
+		perMachine[a.Machine] = append(perMachine[a.Machine], a)
+	}
+	for i, as := range perMachine {
+		sort.Slice(as, func(a, b int) bool { return as[a].Start < as[b].Start })
+		for idx := 1; idx < len(as); idx++ {
+			if as[idx].Start < as[idx-1].End-tol*math.Max(1, as[idx-1].End) {
+				return fmt.Errorf("%w: machine %d tasks %d and %d",
+					ErrOverlap, i, as[idx-1].Task, as[idx].Task)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(set []int, x int) bool {
+	for _, v := range set {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// FromMapping builds a contiguous schedule from a task→machine map,
+// executing each machine's tasks back to back in task-ID order using
+// actual processing times. It is the canonical way to materialize a
+// static (no-choice) schedule.
+func FromMapping(in *task.Instance, machineOf []int) (*Schedule, error) {
+	if len(machineOf) != in.N() {
+		return nil, fmt.Errorf("%w: mapping has %d entries for %d tasks",
+			ErrShapeMismatch, len(machineOf), in.N())
+	}
+	s := New(in.N(), in.M)
+	clock := make([]float64, in.M)
+	for j, t := range in.Tasks {
+		i := machineOf[j]
+		if i < 0 || i >= in.M {
+			return nil, fmt.Errorf("%w: task %d machine %d", ErrShapeMismatch, j, i)
+		}
+		s.Assignments[j] = Assignment{Task: j, Machine: i, Start: clock[i], End: clock[i] + t.Actual}
+		clock[i] += t.Actual
+	}
+	return s, nil
+}

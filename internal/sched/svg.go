@@ -1,0 +1,101 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SVGOptions configures WriteSVG.
+type SVGOptions struct {
+	// Width and RowHeight are pixel dimensions (defaults 800 and 28).
+	Width, RowHeight int
+	// Title is rendered above the chart.
+	Title string
+	// Highlight marks task IDs to fill in a distinct color (e.g. the
+	// adversary-inflated tasks or a memory-intensive set).
+	Highlight map[int]bool
+}
+
+// palette cycles fill colors per task so adjacent tasks are
+// distinguishable; colors are colorblind-safe Okabe–Ito hues.
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+	"#56B4E9", "#D55E00", "#F0E442", "#999999",
+}
+
+// WriteSVG renders the schedule as a self-contained SVG Gantt chart,
+// one row per machine, with task rectangles labeled by ID. It is the
+// publication-quality counterpart of Gantt.
+func (s *Schedule) WriteSVG(w io.Writer, opts SVGOptions) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 800
+	}
+	rowH := opts.RowHeight
+	if rowH <= 0 {
+		rowH = 28
+	}
+	const marginLeft, marginTop, axisH = 48, 28, 22
+	makespan := s.Makespan()
+	chartW := width - marginLeft - 8
+	height := marginTop + s.M*rowH + axisH
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n",
+			marginLeft, escapeXML(opts.Title))
+	}
+
+	perMachine := make([][]Assignment, s.M)
+	for _, a := range s.Assignments {
+		perMachine[a.Machine] = append(perMachine[a.Machine], a)
+	}
+	scale := 0.0
+	if makespan > 0 {
+		scale = float64(chartW) / makespan
+	}
+	for i := 0; i < s.M; i++ {
+		y := marginTop + i*rowH
+		fmt.Fprintf(&b, `<text x="4" y="%d">m%d</text>`+"\n", y+rowH/2+4, i)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			marginLeft, y+rowH, marginLeft+chartW, y+rowH)
+		as := perMachine[i]
+		sort.Slice(as, func(x, yi int) bool { return as[x].Start < as[yi].Start })
+		for _, a := range as {
+			x := marginLeft + int(a.Start*scale)
+			wpx := int((a.End - a.Start) * scale)
+			if wpx < 1 {
+				wpx = 1
+			}
+			fill := palette[a.Task%len(palette)]
+			stroke := "#333"
+			if opts.Highlight[a.Task] {
+				fill = "#D55E00"
+				stroke = "#000"
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s" stroke-width="0.5" opacity="0.85"/>`+"\n",
+				x, y+2, wpx, rowH-4, fill, stroke)
+			if wpx >= 18 {
+				fmt.Fprintf(&b, `<text x="%d" y="%d" fill="white">%d</text>`+"\n",
+					x+3, y+rowH/2+4, a.Task)
+			}
+		}
+	}
+	axisY := marginTop + s.M*rowH + 14
+	fmt.Fprintf(&b, `<text x="%d" y="%d">0</text>`+"\n", marginLeft, axisY)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end">%.4g</text>`+"\n",
+		marginLeft+chartW, axisY, makespan)
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+// referenceRun is an independent, deliberately naive implementation of
+// the phase-2 semantics: keep per-machine clocks, repeatedly give the
+// machine with the smallest clock (ties to the lowest index) its next
+// task. It exists only to differentially test the event-heap
+// simulator.
+func referenceRun(in *task.Instance, d Dispatcher) (*sched.Schedule, error) {
+	s := sched.New(in.N(), in.M)
+	clocks := make([]float64, in.M)
+	active := make([]bool, in.M)
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		best := -1
+		for i := 0; i < in.M; i++ {
+			if !active[i] {
+				continue
+			}
+			if best == -1 || clocks[i] < clocks[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		j, ok := d.Next(best, clocks[best])
+		if !ok {
+			active[best] = false
+			continue
+		}
+		start := clocks[best]
+		end := start + in.Tasks[j].Actual
+		s.Assignments[j] = sched.Assignment{Task: j, Machine: best, Start: start, End: end}
+		d.Completed(j, best, end, in.Tasks[j].Actual)
+		clocks[best] = end
+	}
+	return s, nil
+}
+
+func TestEventSimulatorMatchesReference(t *testing.T) {
+	f := func(seed uint64, kRaw, orderKind uint8) bool {
+		const m = 6
+		in := workload.MustNew(workload.Spec{Name: "zipf", N: 40, M: m, Alpha: 1.8, Seed: seed})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(seed^1))
+
+		// Random placement style: groups, everywhere, or singletons.
+		var p *placement.Placement
+		switch kRaw % 3 {
+		case 0:
+			p = placement.Everywhere(in.N(), m)
+		case 1:
+			p = placement.New(in.N(), m)
+			src := rng.New(seed ^ 2)
+			for j := 0; j < in.N(); j++ {
+				p.Assign(j, src.Intn(m))
+			}
+		default:
+			groups, err := placement.PartitionGroups(m, 3)
+			if err != nil {
+				return false
+			}
+			p = placement.New(in.N(), m)
+			p.Groups = groups
+			p.GroupOf = make([]int, in.N())
+			for j := 0; j < in.N(); j++ {
+				g := j % 3
+				p.GroupOf[j] = g
+				p.AssignSet(j, groups[g])
+			}
+		}
+
+		order := make([]int, in.N())
+		for i := range order {
+			order[i] = i
+		}
+		if orderKind%2 == 0 {
+			sort.SliceStable(order, func(a, b int) bool {
+				return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+			})
+		}
+
+		d1, err := NewListDispatcher(p, order)
+		if err != nil {
+			return false
+		}
+		eventRes, err := Run(in, d1, Options{})
+		if err != nil {
+			return false
+		}
+		d2, err := NewListDispatcher(p, order)
+		if err != nil {
+			return false
+		}
+		refSched, err := referenceRun(in, d2)
+		if err != nil {
+			return false
+		}
+		// The two implementations must agree on every assignment.
+		for j := range eventRes.Schedule.Assignments {
+			a, b := eventRes.Schedule.Assignments[j], refSched.Assignments[j]
+			if a.Machine != b.Machine || a.Start != b.Start || a.End != b.End {
+				t.Logf("task %d: event %+v vs reference %+v", j, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

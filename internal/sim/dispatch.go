@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
+
+// ListDispatcher implements Graham-style list scheduling over a
+// phase-1 placement: tasks are ranked by a fixed priority order, and
+// an idle machine takes the highest-priority unstarted task whose
+// replica set contains it. With a full replication placement and tasks
+// ordered by non-increasing estimate this is exactly the paper's
+// LPT-No Restriction phase 2; with group placements it is LS-Group's
+// phase 2; with singleton replica sets it degenerates to executing a
+// fixed mapping.
+type ListDispatcher struct {
+	// queues[i] lists the indices (into the priority order) of tasks
+	// eligible on machine i, in priority order.
+	queues [][]int
+	// head[i] is the next position to examine in queues[i].
+	head []int
+	// order is the priority order of task IDs.
+	order []int
+	// startedTask[j] reports whether task j has been handed out.
+	startedTask []bool
+}
+
+// NewListDispatcher builds a dispatcher from a placement and a
+// priority order (a permutation of task IDs; earlier means higher
+// priority). It returns an error if order is not a permutation of the
+// placement's tasks.
+func NewListDispatcher(p *placement.Placement, order []int) (*ListDispatcher, error) {
+	n := p.N()
+	if len(order) != n {
+		return nil, fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, j := range order {
+		if j < 0 || j >= n || seen[j] {
+			return nil, fmt.Errorf("sim: priority order is not a permutation (task %d)", j)
+		}
+		seen[j] = true
+	}
+	d := &ListDispatcher{
+		queues:      make([][]int, p.M),
+		head:        make([]int, p.M),
+		order:       order,
+		startedTask: make([]bool, n),
+	}
+	for pos, j := range order {
+		for _, i := range p.Sets[j] {
+			d.queues[i] = append(d.queues[i], pos)
+		}
+	}
+	return d, nil
+}
+
+// Next implements Dispatcher.
+func (d *ListDispatcher) Next(machine int, _ float64) (int, bool) {
+	q := d.queues[machine]
+	for d.head[machine] < len(q) {
+		pos := q[d.head[machine]]
+		j := d.order[pos]
+		if !d.startedTask[j] {
+			d.startedTask[j] = true
+			d.head[machine]++
+			return j, true
+		}
+		d.head[machine]++
+	}
+	return 0, false
+}
+
+// Completed implements Dispatcher. List scheduling ignores completion
+// feedback beyond the implicit signal that the machine is idle again.
+func (d *ListDispatcher) Completed(int, int, float64, float64) {}
+
+// FuncDispatcher adapts a pair of functions to the Dispatcher
+// interface; handy in tests and for custom policies.
+type FuncDispatcher struct {
+	// NextFunc implements Next.
+	NextFunc func(machine int, now float64) (int, bool)
+	// CompletedFunc implements Completed; nil means no-op.
+	CompletedFunc func(taskID, machine int, now, actual float64)
+}
+
+// Next implements Dispatcher.
+func (d *FuncDispatcher) Next(machine int, now float64) (int, bool) {
+	return d.NextFunc(machine, now)
+}
+
+// Completed implements Dispatcher.
+func (d *FuncDispatcher) Completed(taskID, machine int, now, actual float64) {
+	if d.CompletedFunc != nil {
+		d.CompletedFunc(taskID, machine, now, actual)
+	}
+}

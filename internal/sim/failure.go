@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// Failure describes a fail-stop machine crash: the machine accepts no
+// work at or after Time, and a task running across Time is lost and
+// must be re-executed from scratch on another machine holding a
+// replica of its data. This models the paper's Hadoop motivation —
+// "most Hadoop systems replicate the data for the purpose of
+// tolerating hardware faults" — inside the same two-phase model: a
+// crash is survivable only if every affected task has a replica
+// elsewhere.
+type Failure struct {
+	// Machine is the crashing machine.
+	Machine int
+	// Time is the crash instant.
+	Time float64
+}
+
+// ErrUnsurvivable reports that some task's data lived only on crashed
+// machines, so the workload cannot complete.
+var ErrUnsurvivable = errors.New("sim: task data lost in crash; no surviving replica")
+
+// RunWithFailures executes the instance under list scheduling over
+// the placement and priority order, injecting the given fail-stop
+// crashes. The returned schedule contains the final (successful)
+// execution of every task; work lost in crashes extends the timeline
+// but leaves no assignment record. It returns ErrUnsurvivable if a
+// crash strands a task without replicas on surviving machines.
+func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
+	failures []Failure) (*sched.Schedule, error) {
+	n := in.N()
+	if len(order) != n {
+		return nil, fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
+	}
+	for _, f := range failures {
+		if f.Machine < 0 || f.Machine >= in.M {
+			return nil, fmt.Errorf("sim: failure on invalid machine %d", f.Machine)
+		}
+		if f.Time < 0 {
+			return nil, fmt.Errorf("sim: failure at negative time %v", f.Time)
+		}
+	}
+	base, err := NewListDispatcher(p, order)
+	if err != nil {
+		return nil, err
+	}
+	// priorityOf[j] = position of task j in the order (smaller = higher).
+	priorityOf := make([]int, n)
+	for pos, j := range order {
+		priorityOf[j] = pos
+	}
+	// retry holds lost tasks, re-offered ahead of the regular queues.
+	retry := map[int]bool{}
+
+	running := make([]*runState, in.M)
+	dead := make([]bool, in.M)
+	dormant := make([]bool, in.M) // alive but found no work earlier
+	dormantAt := make([]float64, in.M)
+
+	s := sched.New(n, in.M)
+	completed := make([]bool, n)
+	completedCount := 0
+
+	// Event queue over machine-idle and crash events. Crashes use
+	// machine index -1-f encoding to sort alongside idle events.
+	q := make(eventQueue, 0, in.M+len(failures))
+	for i := 0; i < in.M; i++ {
+		q = append(q, idleEvent{time: 0, machine: i})
+	}
+	heap.Init(&q)
+	crashQ := append([]Failure(nil), failures...)
+	sort.Slice(crashQ, func(a, b int) bool { return crashQ[a].Time < crashQ[b].Time })
+
+	nextRetry := func(machine int) (int, bool) {
+		bestTask, bestPos := -1, n
+		for j := range retry {
+			if priorityOf[j] < bestPos && machineEligible(p, j, machine) {
+				bestTask, bestPos = j, priorityOf[j]
+			}
+		}
+		if bestTask < 0 {
+			return 0, false
+		}
+		delete(retry, bestTask)
+		return bestTask, true
+	}
+
+	dispatch := func(machine int, now float64) bool {
+		if dead[machine] {
+			return false
+		}
+		j, ok := nextRetry(machine)
+		if !ok {
+			j, ok = base.Next(machine, now)
+		}
+		if !ok {
+			dormant[machine] = true
+			dormantAt[machine] = now
+			return false
+		}
+		end := now + in.Tasks[j].Actual
+		running[machine] = &runState{task: j, end: end}
+		s.Assignments[j] = sched.Assignment{Task: j, Machine: machine, Start: now, End: end}
+		heap.Push(&q, idleEvent{time: end, machine: machine})
+		return true
+	}
+
+	wakeDormant := func(now float64) {
+		for i := 0; i < in.M; i++ {
+			if dormant[i] && !dead[i] {
+				dormant[i] = false
+				t := now
+				if dormantAt[i] > t {
+					t = dormantAt[i]
+				}
+				heap.Push(&q, idleEvent{time: t, machine: i})
+			}
+		}
+	}
+
+	crash := func(f Failure) error {
+		if dead[f.Machine] {
+			return nil
+		}
+		dead[f.Machine] = true
+		if rs := running[f.Machine]; rs != nil {
+			switch {
+			case rs.end <= f.Time:
+				// The task finished exactly at (or before) the crash; its
+				// idle event would normally mark completion but will be
+				// skipped on the dead machine.
+				completed[rs.task] = true
+				completedCount++
+				running[f.Machine] = nil
+			case !completed[rs.task]:
+				// The in-flight task is lost: erase its assignment and
+				// re-offer it.
+				j := rs.task
+				s.Assignments[j] = sched.Assignment{}
+				running[f.Machine] = nil
+				if !survivable(p, j, dead) {
+					return fmt.Errorf("%w: task %d only on machine %d", ErrUnsurvivable, j, f.Machine)
+				}
+				retry[j] = true
+				wakeDormant(f.Time)
+			}
+		}
+		// A pending task whose every replica is dead is stranded. (A
+		// task running on an alive machine is never stranded: that
+		// machine holds a replica.)
+		for j := 0; j < n; j++ {
+			if !completed[j] && !survivable(p, j, dead) && !runningSomewhereAlive(running, dead, j) {
+				return fmt.Errorf("%w: task %d", ErrUnsurvivable, j)
+			}
+		}
+		return nil
+	}
+
+	for q.Len() > 0 || len(crashQ) > 0 {
+		// Interleave crashes with idle events in time order.
+		if len(crashQ) > 0 && (q.Len() == 0 || crashQ[0].Time <= q[0].time) {
+			f := crashQ[0]
+			crashQ = crashQ[1:]
+			if err := crash(f); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ev := heap.Pop(&q).(idleEvent)
+		if dead[ev.machine] {
+			continue
+		}
+		if rs := running[ev.machine]; rs != nil && rs.end <= ev.time {
+			completed[rs.task] = true
+			completedCount++
+			running[ev.machine] = nil
+		}
+		dispatch(ev.machine, ev.time)
+	}
+
+	if completedCount != n {
+		return nil, fmt.Errorf("sim: %d of %d tasks never completed", n-completedCount, n)
+	}
+	return s, nil
+}
+
+func machineEligible(p *placement.Placement, j, machine int) bool {
+	for _, i := range p.Sets[j] {
+		if i == machine {
+			return true
+		}
+	}
+	return false
+}
+
+func survivable(p *placement.Placement, j int, dead []bool) bool {
+	for _, i := range p.Sets[j] {
+		if !dead[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// runState tracks a machine's in-flight task.
+type runState struct {
+	task int
+	end  float64
+}
+
+func runningSomewhereAlive(running []*runState, dead []bool, j int) bool {
+	for i, rs := range running {
+		if rs != nil && rs.task == j && !dead[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+// Package sim implements the paper's phase-2 execution model: an
+// event-driven simulator of m identical machines executing tasks
+// online and semi-clairvoyantly. The dispatcher sees only estimated
+// processing times and learns a task's actual time when it completes
+// (i.e. when the machine becomes idle again); the simulator advances
+// the clock with the actual times.
+//
+// The simulator pops machine-idle events from a priority queue ordered
+// by (time, machine index) — so "the first machine that becomes
+// available" is deterministic, with ties broken toward lower machine
+// indices, matching the usual List Scheduling convention.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// Dispatcher selects work for idle machines. Implementations must be
+// semi-clairvoyant: they may consult estimates and the identity of
+// completed tasks, but never an unfinished task's actual time.
+type Dispatcher interface {
+	// Next returns the task to start on the given idle machine at time
+	// now, or ok=false if the machine should stay idle. A machine that
+	// returns ok=false receives no further Next calls: all tasks are
+	// released at time zero, so no new work can appear later.
+	Next(machine int, now float64) (taskID int, ok bool)
+	// Completed notifies the dispatcher that a task finished at time
+	// now; actual is its revealed processing time.
+	Completed(taskID int, machine int, now, actual float64)
+}
+
+// Event is one entry of an execution trace.
+type Event struct {
+	// Time of the event.
+	Time float64
+	// Machine involved.
+	Machine int
+	// Task involved.
+	Task int
+	// Kind is "start" or "finish".
+	Kind string
+}
+
+// Result bundles the outcome of a simulation.
+type Result struct {
+	// Schedule is the executed schedule.
+	Schedule *sched.Schedule
+	// Trace holds start/finish events in time order when tracing was
+	// requested, nil otherwise.
+	Trace []Event
+}
+
+// idleEvent is a machine becoming idle at a given time.
+type idleEvent struct {
+	time    float64
+	machine int
+}
+
+type eventQueue []idleEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(a, b int) bool {
+	if q[a].time != q[b].time {
+		return q[a].time < q[b].time
+	}
+	return q[a].machine < q[b].machine
+}
+func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(idleEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Options configures a simulation run.
+type Options struct {
+	// Trace records start/finish events when true.
+	Trace bool
+	// Duration, when non-nil, overrides the executed duration of a
+	// task on a machine. The default is the task's actual processing
+	// time; the remote-execution model uses this hook to charge a data
+	// fetch penalty on machines outside the task's replica set.
+	Duration func(taskID, machine int) float64
+}
+
+// Run executes the instance under the dispatcher and returns the
+// resulting schedule. It returns an error if the dispatcher starts a
+// task twice, references an unknown task, or leaves tasks unexecuted.
+func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
+	n := in.N()
+	result := &Result{Schedule: sched.New(n, in.M)}
+	started := make([]bool, n)
+	startedCount := 0
+
+	q := make(eventQueue, 0, in.M)
+	for i := 0; i < in.M; i++ {
+		q = append(q, idleEvent{time: 0, machine: i})
+	}
+	heap.Init(&q)
+
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(idleEvent)
+		j, ok := d.Next(ev.machine, ev.time)
+		if !ok {
+			continue // machine retires
+		}
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("sim: dispatcher returned invalid task %d", j)
+		}
+		if started[j] {
+			return nil, fmt.Errorf("sim: dispatcher started task %d twice", j)
+		}
+		started[j] = true
+		startedCount++
+		actual := in.Tasks[j].Actual
+		if opts.Duration != nil {
+			actual = opts.Duration(j, ev.machine)
+		}
+		end := ev.time + actual
+		result.Schedule.Assignments[j] = sched.Assignment{
+			Task: j, Machine: ev.machine, Start: ev.time, End: end,
+		}
+		if opts.Trace {
+			result.Trace = append(result.Trace,
+				Event{Time: ev.time, Machine: ev.machine, Task: j, Kind: "start"},
+				Event{Time: end, Machine: ev.machine, Task: j, Kind: "finish"},
+			)
+		}
+		d.Completed(j, ev.machine, end, actual)
+		heap.Push(&q, idleEvent{time: end, machine: ev.machine})
+	}
+
+	if startedCount != n {
+		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-startedCount, n)
+	}
+	if opts.Trace {
+		sortTrace(result.Trace)
+	}
+	return result, nil
+}
+
+// sortTrace orders events by time, finishes before starts at equal
+// times (a machine finishes a task before grabbing the next), then by
+// machine.
+func sortTrace(tr []Event) {
+	// Insertion sort: traces are near-sorted already because events are
+	// appended in simulation order.
+	for i := 1; i < len(tr); i++ {
+		for j := i; j > 0 && traceLess(tr[j], tr[j-1]); j-- {
+			tr[j], tr[j-1] = tr[j-1], tr[j]
+		}
+	}
+}
+
+func traceLess(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Kind != b.Kind {
+		return a.Kind == "finish"
+	}
+	return a.Machine < b.Machine
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+func inst(t *testing.T, m int, actuals ...float64) *task.Instance {
+	t.Helper()
+	est := make([]float64, len(actuals))
+	copy(est, actuals)
+	in, err := task.New(m, 1, est, actuals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// identityOrder returns 0..n-1.
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func TestListDispatcherFullReplication(t *testing.T) {
+	// 2 machines, tasks of length 3,2,2: greedy list scheduling puts
+	// task0 on m0, task1 on m1, task2 on m1 (first idle at t=2).
+	in := inst(t, 2, 3, 2, 2)
+	p := placement.Everywhere(3, 2)
+	d, err := NewListDispatcher(p, identityOrder(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Makespan(); got != 4 {
+		t.Fatalf("makespan = %v, want 4", got)
+	}
+	a2 := res.Schedule.Assignments[2]
+	if a2.Machine != 1 || a2.Start != 2 {
+		t.Fatalf("task 2 ran %+v, want machine 1 start 2", a2)
+	}
+}
+
+func TestListDispatcherRespectsReplicaSets(t *testing.T) {
+	// Task 0 restricted to machine 1; machine 0 must take task 1.
+	in := inst(t, 2, 5, 1)
+	p := placement.New(2, 2)
+	p.Assign(0, 1)
+	p.Assign(1, 0)
+	d, err := NewListDispatcher(p, identityOrder(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in, p); err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Assignments[0].Machine != 1 {
+		t.Fatalf("task 0 ran on machine %d", res.Schedule.Assignments[0].Machine)
+	}
+}
+
+func TestRunUsesActualTimes(t *testing.T) {
+	est := []float64{2, 2}
+	act := []float64{4, 1}
+	in, err := task.New(1, 2, est, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.Everywhere(2, 1)
+	d, _ := NewListDispatcher(p, identityOrder(2))
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Makespan(); got != 5 {
+		t.Fatalf("makespan = %v, want 5 (actual times)", got)
+	}
+}
+
+func TestTieBreakTowardLowerMachine(t *testing.T) {
+	in := inst(t, 3, 1)
+	p := placement.Everywhere(1, 3)
+	d, _ := NewListDispatcher(p, identityOrder(1))
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schedule.Assignments[0].Machine; got != 0 {
+		t.Fatalf("first task on machine %d, want 0", got)
+	}
+}
+
+func TestTraceOrdering(t *testing.T) {
+	in := inst(t, 2, 2, 1, 1)
+	p := placement.Everywhere(3, 2)
+	d, _ := NewListDispatcher(p, identityOrder(3))
+	res, err := Run(in, d, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 6 {
+		t.Fatalf("trace has %d events, want 6", len(res.Trace))
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Time < res.Trace[i-1].Time {
+			t.Fatalf("trace out of order at %d: %+v", i, res.Trace)
+		}
+	}
+	starts := 0
+	for _, ev := range res.Trace {
+		if ev.Kind == "start" {
+			starts++
+		}
+	}
+	if starts != 3 {
+		t.Fatalf("trace has %d starts, want 3", starts)
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	in := inst(t, 1, 1)
+	p := placement.Everywhere(1, 1)
+	d, _ := NewListDispatcher(p, identityOrder(1))
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace recorded without Options.Trace")
+	}
+}
+
+func TestNewListDispatcherRejectsBadOrder(t *testing.T) {
+	p := placement.Everywhere(3, 2)
+	if _, err := NewListDispatcher(p, []int{0, 1}); err == nil {
+		t.Fatal("short order accepted")
+	}
+	if _, err := NewListDispatcher(p, []int{0, 1, 1}); err == nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if _, err := NewListDispatcher(p, []int{0, 1, 9}); err == nil {
+		t.Fatal("out-of-range order accepted")
+	}
+}
+
+func TestRunDetectsUnexecutedTasks(t *testing.T) {
+	in := inst(t, 1, 1, 1)
+	d := &FuncDispatcher{NextFunc: func(int, float64) (int, bool) { return 0, false }}
+	if _, err := Run(in, d, Options{}); err == nil {
+		t.Fatal("unexecuted tasks not detected")
+	}
+}
+
+func TestRunDetectsDoubleStart(t *testing.T) {
+	in := inst(t, 2, 1, 1)
+	d := &FuncDispatcher{NextFunc: func(int, float64) (int, bool) { return 0, true }}
+	if _, err := Run(in, d, Options{}); err == nil {
+		t.Fatal("double start not detected")
+	}
+}
+
+func TestRunDetectsInvalidTaskID(t *testing.T) {
+	in := inst(t, 1, 1)
+	d := &FuncDispatcher{NextFunc: func(int, float64) (int, bool) { return 42, true }}
+	if _, err := Run(in, d, Options{}); err == nil {
+		t.Fatal("invalid task ID not detected")
+	}
+}
+
+func TestCompletedCallbackSeesActuals(t *testing.T) {
+	est := []float64{2}
+	act := []float64{3}
+	in, err := task.New(1, 1.5, est, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotActual, gotNow float64
+	p := placement.Everywhere(1, 1)
+	ld, _ := NewListDispatcher(p, identityOrder(1))
+	d := &FuncDispatcher{
+		NextFunc: ld.Next,
+		CompletedFunc: func(_, _ int, now, actual float64) {
+			gotNow, gotActual = now, actual
+		},
+	}
+	if _, err := Run(in, d, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if gotActual != 3 || gotNow != 3 {
+		t.Fatalf("Completed(now=%v, actual=%v), want 3, 3", gotNow, gotActual)
+	}
+}
+
+func TestGreedyDominanceProperty(t *testing.T) {
+	// List scheduling invariant: when some machine still had queued
+	// work, no machine idles while eligible tasks wait. For full
+	// replication this means the makespan is at most total/m + max.
+	f := func(seed uint64, mRaw uint8) bool {
+		m := int(mRaw%7) + 1
+		in := workload.MustNew(workload.Spec{Name: "uniform", N: 50, M: m, Alpha: 1.5, Seed: seed})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(seed))
+		p := placement.Everywhere(in.N(), m)
+		order := identityOrder(in.N())
+		sort.Slice(order, func(a, b int) bool {
+			return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+		})
+		d, err := NewListDispatcher(p, order)
+		if err != nil {
+			return false
+		}
+		res, err := Run(in, d, Options{})
+		if err != nil {
+			return false
+		}
+		if err := res.Schedule.Verify(in, p); err != nil {
+			return false
+		}
+		bound := in.TotalActual()/float64(m) + in.MaxActual()
+		return res.Schedule.Makespan() <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupPlacementStaysInGroup(t *testing.T) {
+	in := workload.MustNew(workload.Spec{Name: "uniform", N: 40, M: 6, Alpha: 2, Seed: 5})
+	groups, err := placement.PartitionGroups(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(40, 6)
+	p.Groups = groups
+	p.GroupOf = make([]int, 40)
+	for j := 0; j < 40; j++ {
+		g := j % 2
+		p.GroupOf[j] = g
+		p.AssignSet(j, groups[g])
+	}
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewListDispatcher(p, identityOrder(40))
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Verify(in, p); err != nil {
+		t.Fatal(err)
+	}
+	for j, a := range res.Schedule.Assignments {
+		g := p.GroupOf[j]
+		lo, hi := g*3, g*3+3
+		if a.Machine < lo || a.Machine >= hi {
+			t.Fatalf("task %d (group %d) ran on machine %d", j, g, a.Machine)
+		}
+	}
+}

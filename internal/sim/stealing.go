@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/task"
+)
+
+// StealingDispatcher models the alternative to replication the paper
+// dismisses as prohibitive for out-of-core systems: running a task on
+// a machine that does not hold its data, paying a fetch penalty. An
+// idle machine first drains the tasks whose replica set contains it
+// (in priority order); once no local work remains it steals the
+// highest-priority unstarted task from anywhere, at Penalty times the
+// task's actual duration.
+//
+// With Penalty→∞ this degenerates to pure local execution (machines
+// simply retire when local work runs out would be wrong — a stolen
+// infinite task never completes; use DurationOf to compare policies
+// at finite penalties instead). Experiment e9 sweeps the penalty to
+// locate the crossover where replication beats stealing.
+type StealingDispatcher struct {
+	// Penalty multiplies the duration of remotely executed tasks
+	// (must be ≥ 1).
+	Penalty float64
+
+	local   [][]int // per machine: positions into order
+	headL   []int
+	order   []int
+	headG   int
+	started []bool
+	isLocal []map[int]bool // per machine: task set
+}
+
+// NewStealingDispatcher builds a stealing dispatcher over a placement
+// and a priority order (a permutation of task IDs).
+func NewStealingDispatcher(p *placement.Placement, order []int, penalty float64) (*StealingDispatcher, error) {
+	if penalty < 1 {
+		return nil, fmt.Errorf("sim: stealing penalty %v below 1", penalty)
+	}
+	base, err := NewListDispatcher(p, order)
+	if err != nil {
+		return nil, err
+	}
+	d := &StealingDispatcher{
+		Penalty: penalty,
+		local:   base.queues,
+		headL:   base.head,
+		order:   order,
+		started: base.startedTask,
+		isLocal: make([]map[int]bool, p.M),
+	}
+	for i := 0; i < p.M; i++ {
+		d.isLocal[i] = make(map[int]bool)
+	}
+	for j, set := range p.Sets {
+		for _, i := range set {
+			d.isLocal[i][j] = true
+		}
+	}
+	return d, nil
+}
+
+// Next implements Dispatcher: local work first, then steal.
+func (d *StealingDispatcher) Next(machine int, _ float64) (int, bool) {
+	q := d.local[machine]
+	for d.headL[machine] < len(q) {
+		pos := q[d.headL[machine]]
+		j := d.order[pos]
+		if !d.started[j] {
+			d.started[j] = true
+			d.headL[machine]++
+			return j, true
+		}
+		d.headL[machine]++
+	}
+	for d.headG < len(d.order) {
+		j := d.order[d.headG]
+		if !d.started[j] {
+			d.started[j] = true
+			d.headG++
+			return j, true
+		}
+		d.headG++
+	}
+	return 0, false
+}
+
+// Completed implements Dispatcher.
+func (d *StealingDispatcher) Completed(int, int, float64, float64) {}
+
+// DurationOf returns the executed duration of a task on a machine:
+// the actual time, multiplied by the penalty when the machine holds
+// no replica. Pass it as Options.Duration.
+func (d *StealingDispatcher) DurationOf(in *task.Instance) func(taskID, machine int) float64 {
+	return func(taskID, machine int) float64 {
+		dur := in.Tasks[taskID].Actual
+		if !d.isLocal[machine][taskID] {
+			dur *= d.Penalty
+		}
+		return dur
+	}
+}

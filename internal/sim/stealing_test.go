@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/task"
+)
+
+func TestStealingPrefersLocal(t *testing.T) {
+	// Machine 0 owns tasks 0,1; machine 1 owns task 2 (short). After
+	// finishing task 2, machine 1 steals task 1 at penalty 2.
+	est := []float64{4, 4, 1}
+	in, err := task.New(2, 1, est, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(3, 2)
+	p.Assign(0, 0)
+	p.Assign(1, 0)
+	p.Assign(2, 1)
+	d, err := NewStealingDispatcher(p, identityOrder(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, d, Options{Duration: d.DurationOf(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := res.Schedule.Assignments[1]
+	if a1.Machine != 1 {
+		t.Fatalf("task 1 not stolen: ran on machine %d", a1.Machine)
+	}
+	// Stolen: starts at 1 (after task 2), runs 4·2=8 → ends at 9.
+	if a1.Start != 1 || a1.End != 9 {
+		t.Fatalf("stolen task timing %+v, want start 1 end 9", a1)
+	}
+	// Machine 0 runs task 0 locally: ends at 4. Makespan 9.
+	if res.Schedule.Makespan() != 9 {
+		t.Fatalf("makespan = %v, want 9", res.Schedule.Makespan())
+	}
+}
+
+func TestStealingPenaltyOneEqualsFullReplication(t *testing.T) {
+	est := []float64{5, 3, 2, 2, 1}
+	in, err := task.New(2, 1, est, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arbitrary pinned placement; with penalty 1 stealing is free, so
+	// the outcome must match list scheduling over full replication.
+	p := placement.New(5, 2)
+	for j := 0; j < 5; j++ {
+		p.Assign(j, 0)
+	}
+	d, err := NewStealingDispatcher(p, identityOrder(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, d, Options{Duration: d.DurationOf(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := placement.Everywhere(5, 2)
+	ld, _ := NewListDispatcher(full, identityOrder(5))
+	want, err := Run(in, ld, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() != want.Schedule.Makespan() {
+		t.Fatalf("penalty-1 stealing %v != full replication %v",
+			res.Schedule.Makespan(), want.Schedule.Makespan())
+	}
+}
+
+func TestStealingHighPenaltyDiscourages(t *testing.T) {
+	// Balanced pinned placement: with a huge penalty, stealing a task
+	// can still happen (machines steal when idle) but the makespan is
+	// bounded by the local execution's anyway only if stealing never
+	// helps; here we just check it completes and all tasks run.
+	est := []float64{3, 3, 3, 3}
+	in, err := task.New(2, 1, est, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.New(4, 2)
+	p.Assign(0, 0)
+	p.Assign(1, 0)
+	p.Assign(2, 1)
+	p.Assign(3, 1)
+	d, err := NewStealingDispatcher(p, identityOrder(4), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, d, Options{Duration: d.DurationOf(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly balanced: no machine ever idles while work remains, so
+	// nothing is stolen and the makespan is 6.
+	if res.Schedule.Makespan() != 6 {
+		t.Fatalf("makespan = %v, want 6 (no stealing)", res.Schedule.Makespan())
+	}
+}
+
+func TestStealingRejectsBadPenalty(t *testing.T) {
+	p := placement.New(1, 1)
+	p.Assign(0, 0)
+	if _, err := NewStealingDispatcher(p, []int{0}, 0.5); err == nil {
+		t.Fatal("penalty < 1 accepted")
+	}
+}
+
+func TestDurationHookDefault(t *testing.T) {
+	// Without Options.Duration the simulator charges actual times.
+	est := []float64{2}
+	act := []float64{3}
+	in, err := task.New(1, 1.5, est, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := placement.Everywhere(1, 1)
+	d, _ := NewListDispatcher(p, identityOrder(1))
+	res, err := Run(in, d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.Makespan() != 3 {
+		t.Fatalf("makespan = %v", res.Schedule.Makespan())
+	}
+}

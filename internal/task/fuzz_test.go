@@ -1,0 +1,36 @@
+package task
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzInstanceJSON checks the JSON decoder never panics and that
+// accepted instances survive an encode/decode round trip.
+func FuzzInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"m":2,"alpha":1.5,"estimates":[1,2]}`))
+	f.Add([]byte(`{"m":2,"alpha":1.5,"estimates":[1],"actuals":[1.2],"sizes":[3]}`))
+	f.Add([]byte(`{"m":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"m":1,"alpha":1,"estimates":[1],"actuals":[1,2]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := in.UnmarshalJSON(data); err != nil {
+			return
+		}
+		if err := in.Validate(false); err != nil {
+			return // decoded but invalid: callers validate, fine
+		}
+		var buf bytes.Buffer
+		if err := in.Write(&buf); err != nil {
+			t.Fatalf("Write failed on valid instance: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.N() != in.N() || again.M != in.M || again.Alpha != in.Alpha {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the wire representation of an Instance. Using
+// parallel arrays keeps large instances compact and diff-friendly.
+type instanceJSON struct {
+	M         int       `json:"m"`
+	Alpha     float64   `json:"alpha"`
+	Estimates []float64 `json:"estimates"`
+	Actuals   []float64 `json:"actuals,omitempty"`
+	Sizes     []float64 `json:"sizes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	w := instanceJSON{
+		M:         in.M,
+		Alpha:     in.Alpha,
+		Estimates: in.Estimates(),
+	}
+	hasActuals, hasSizes := false, false
+	for _, t := range in.Tasks {
+		if t.Actual != 0 {
+			hasActuals = true
+		}
+		if t.Size != 0 {
+			hasSizes = true
+		}
+	}
+	if hasActuals {
+		w.Actuals = in.Actuals()
+	}
+	if hasSizes {
+		w.Sizes = in.Sizes()
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Actuals default to the
+// estimates when absent; sizes default to zero.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var w instanceJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if w.Actuals != nil && len(w.Actuals) != len(w.Estimates) {
+		return fmt.Errorf("task: %d actuals for %d estimates", len(w.Actuals), len(w.Estimates))
+	}
+	if w.Sizes != nil && len(w.Sizes) != len(w.Estimates) {
+		return fmt.Errorf("task: %d sizes for %d estimates", len(w.Sizes), len(w.Estimates))
+	}
+	in.M = w.M
+	in.Alpha = w.Alpha
+	in.Tasks = make([]Task, len(w.Estimates))
+	for i, e := range w.Estimates {
+		t := Task{ID: i, Estimate: e, Actual: e}
+		if w.Actuals != nil {
+			t.Actual = w.Actuals[i]
+		}
+		if w.Sizes != nil {
+			t.Size = w.Sizes[i]
+		}
+		in.Tasks[i] = t
+	}
+	return nil
+}
+
+// Write encodes the instance as JSON to w.
+func (in *Instance) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(in)
+}
+
+// Read decodes a JSON instance from r and validates its structure
+// (actuals are validated only if any differ from the estimates).
+func Read(r io.Reader) (*Instance, error) {
+	var in Instance
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(false); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}

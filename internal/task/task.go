@@ -1,0 +1,242 @@
+// Package task defines the problem model of the paper: a set J of n
+// independent tasks to be scheduled on a set M of m identical machines,
+// where the scheduler knows only an estimate p̃_j of each task's actual
+// processing time p_j, together with a multiplicative uncertainty factor
+// α ≥ 1 such that
+//
+//	p̃_j/α ≤ p_j ≤ α·p̃_j.      (Equation 1 of the paper)
+//
+// An Instance carries both the estimated and the actual processing
+// times. Phase-1 (placement) and phase-2 (dispatch) algorithms must only
+// read the estimates; the simulator reveals a task's actual time when it
+// completes, implementing the semi-clairvoyant model. The actual times
+// are stored in the instance so that experiments can score schedules
+// after the fact.
+//
+// For the memory-aware model each task additionally has a size s_j: the
+// memory its data occupies on every machine holding a replica.
+package task
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Task is a single unit of work.
+type Task struct {
+	// ID identifies the task; within an Instance it equals the task's
+	// index in Tasks.
+	ID int
+	// Estimate is p̃_j, the processing time known before execution.
+	Estimate float64
+	// Actual is p_j, revealed only at completion. The simulator uses it
+	// to advance time; placement and dispatch policies must not read it.
+	Actual float64
+	// Size is s_j, the memory footprint of the task's data (memory-aware
+	// model). Zero when the replication-bound model is used.
+	Size float64
+}
+
+// Instance is one problem instance.
+type Instance struct {
+	// Tasks is the task set J, indexed by Task.ID.
+	Tasks []Task
+	// M is the number of machines m.
+	M int
+	// Alpha is the uncertainty factor α ≥ 1 of Equation 1.
+	Alpha float64
+}
+
+// Common instance-validation errors.
+var (
+	ErrNoMachines  = errors.New("task: instance has no machines")
+	ErrNoTasks     = errors.New("task: instance has no tasks")
+	ErrBadAlpha    = errors.New("task: alpha must be >= 1")
+	ErrBadEstimate = errors.New("task: estimates must be positive and finite")
+	ErrBadActual   = errors.New("task: actual time outside [estimate/alpha, alpha*estimate]")
+	ErrBadSize     = errors.New("task: sizes must be non-negative and finite")
+	ErrBadID       = errors.New("task: task ID must equal its index")
+	ErrActualUnset = errors.New("task: actual processing time not set")
+)
+
+// N returns the number of tasks n.
+func (in *Instance) N() int { return len(in.Tasks) }
+
+// Validate checks the structural invariants of the instance: machine
+// and task counts, α ≥ 1, positive finite estimates, IDs matching
+// indices, non-negative sizes, and — when withActuals is true — that
+// every actual time satisfies Equation 1.
+func (in *Instance) Validate(withActuals bool) error {
+	if in.M <= 0 {
+		return ErrNoMachines
+	}
+	if len(in.Tasks) == 0 {
+		return ErrNoTasks
+	}
+	if in.Alpha < 1 || math.IsNaN(in.Alpha) || math.IsInf(in.Alpha, 0) {
+		return fmt.Errorf("%w: got %v", ErrBadAlpha, in.Alpha)
+	}
+	for i, t := range in.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("%w: index %d has ID %d", ErrBadID, i, t.ID)
+		}
+		if !(t.Estimate > 0) || math.IsInf(t.Estimate, 0) {
+			return fmt.Errorf("%w: task %d estimate %v", ErrBadEstimate, i, t.Estimate)
+		}
+		if t.Size < 0 || math.IsNaN(t.Size) || math.IsInf(t.Size, 0) {
+			return fmt.Errorf("%w: task %d size %v", ErrBadSize, i, t.Size)
+		}
+		if withActuals {
+			if err := in.validateActual(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Instance) validateActual(t Task) error {
+	if !(t.Actual > 0) || math.IsInf(t.Actual, 0) {
+		return fmt.Errorf("%w: task %d actual %v", ErrActualUnset, t.ID, t.Actual)
+	}
+	// A small relative tolerance absorbs floating-point rounding when
+	// actuals were produced by multiplying estimates by a factor.
+	const tol = 1e-9
+	lo := t.Estimate / in.Alpha
+	hi := t.Estimate * in.Alpha
+	if t.Actual < lo*(1-tol) || t.Actual > hi*(1+tol) {
+		return fmt.Errorf("%w: task %d actual %v outside [%v, %v] (alpha=%v)",
+			ErrBadActual, t.ID, t.Actual, lo, hi, in.Alpha)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{M: in.M, Alpha: in.Alpha, Tasks: make([]Task, len(in.Tasks))}
+	copy(out.Tasks, in.Tasks)
+	return out
+}
+
+// TotalEstimate returns Σ p̃_j.
+func (in *Instance) TotalEstimate() float64 {
+	sum := 0.0
+	for _, t := range in.Tasks {
+		sum += t.Estimate
+	}
+	return sum
+}
+
+// TotalActual returns Σ p_j.
+func (in *Instance) TotalActual() float64 {
+	sum := 0.0
+	for _, t := range in.Tasks {
+		sum += t.Actual
+	}
+	return sum
+}
+
+// TotalSize returns Σ s_j.
+func (in *Instance) TotalSize() float64 {
+	sum := 0.0
+	for _, t := range in.Tasks {
+		sum += t.Size
+	}
+	return sum
+}
+
+// MaxEstimate returns max_j p̃_j.
+func (in *Instance) MaxEstimate() float64 {
+	max := 0.0
+	for _, t := range in.Tasks {
+		if t.Estimate > max {
+			max = t.Estimate
+		}
+	}
+	return max
+}
+
+// MaxActual returns max_j p_j.
+func (in *Instance) MaxActual() float64 {
+	max := 0.0
+	for _, t := range in.Tasks {
+		if t.Actual > max {
+			max = t.Actual
+		}
+	}
+	return max
+}
+
+// New builds an instance from parallel slices of estimates and actuals.
+// Sizes are left at zero. It returns an error if the slices disagree in
+// length or the result fails validation.
+func New(m int, alpha float64, estimates, actuals []float64) (*Instance, error) {
+	if len(estimates) != len(actuals) {
+		return nil, fmt.Errorf("task: %d estimates but %d actuals", len(estimates), len(actuals))
+	}
+	in := &Instance{M: m, Alpha: alpha, Tasks: make([]Task, len(estimates))}
+	for i := range estimates {
+		in.Tasks[i] = Task{ID: i, Estimate: estimates[i], Actual: actuals[i]}
+	}
+	if err := in.Validate(true); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// NewEstimated builds an instance whose actual times equal the
+// estimates (a perfectly clairvoyant instance); perturbation models can
+// rewrite the actuals afterwards.
+func NewEstimated(m int, alpha float64, estimates []float64) (*Instance, error) {
+	actuals := make([]float64, len(estimates))
+	copy(actuals, estimates)
+	return New(m, alpha, estimates, actuals)
+}
+
+// Estimates returns a fresh slice of the estimated processing times.
+func (in *Instance) Estimates() []float64 {
+	out := make([]float64, len(in.Tasks))
+	for i, t := range in.Tasks {
+		out[i] = t.Estimate
+	}
+	return out
+}
+
+// Actuals returns a fresh slice of the actual processing times.
+func (in *Instance) Actuals() []float64 {
+	out := make([]float64, len(in.Tasks))
+	for i, t := range in.Tasks {
+		out[i] = t.Actual
+	}
+	return out
+}
+
+// Sizes returns a fresh slice of the task memory sizes.
+func (in *Instance) Sizes() []float64 {
+	out := make([]float64, len(in.Tasks))
+	for i, t := range in.Tasks {
+		out[i] = t.Size
+	}
+	return out
+}
+
+// SetSizes assigns memory sizes to the tasks. It returns an error if
+// the slice length does not match the task count or a size is invalid.
+func (in *Instance) SetSizes(sizes []float64) error {
+	if len(sizes) != len(in.Tasks) {
+		return fmt.Errorf("task: %d sizes for %d tasks", len(sizes), len(in.Tasks))
+	}
+	for i, s := range sizes {
+		if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("%w: task %d size %v", ErrBadSize, i, s)
+		}
+		in.Tasks[i].Size = s
+	}
+	return nil
+}
+
+// String summarizes the instance for logs and error messages.
+func (in *Instance) String() string {
+	return fmt.Sprintf("instance{n=%d m=%d alpha=%g}", in.N(), in.M, in.Alpha)
+}

@@ -1,0 +1,261 @@
+// Package uncertainty turns estimated processing times into actual
+// ones while respecting the paper's bounded-uncertainty model
+// (Equation 1): p_j = f_j · p̃_j with f_j ∈ [1/α, α].
+//
+// Models range from benign (Exact, mild log-normal noise) to
+// adversarial (inflate the tasks of the most-loaded machine by α and
+// deflate everything else — the exact perturbation used in the paper's
+// lower-bound proofs). Adversarial models need to know the phase-1
+// placement, so Perturb receives the per-task machine loads through an
+// optional Context.
+package uncertainty
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// Context carries placement information for placement-aware
+// (adversarial) models. A nil context is valid: placement-aware models
+// then fall back to a placement-oblivious heuristic.
+type Context struct {
+	// Preferred[j] is the machine the scheduler is expected to run task
+	// j on: for no-replication placements the single element of M_j, for
+	// replicated placements the dispatcher's first choice. Adversaries
+	// use it to find the most-loaded machine.
+	Preferred []int
+	// M is the machine count.
+	M int
+}
+
+// Model rewrites the Actual fields of an instance in place.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Perturb sets in.Tasks[j].Actual for every task, respecting
+	// Equation 1 with the instance's Alpha.
+	Perturb(in *task.Instance, ctx *Context, src *rng.Source)
+}
+
+// New returns the named model. Recognized names: exact, uniform,
+// lognormal, extremes, inflate-all, deflate-all, adversary.
+func New(name string) (Model, error) {
+	switch name {
+	case "exact":
+		return Exact{}, nil
+	case "uniform":
+		return Uniform{}, nil
+	case "lognormal":
+		return LogNormal{Sigma: 0.3}, nil
+	case "extremes":
+		return Extremes{}, nil
+	case "inflate-all":
+		return InflateAll{}, nil
+	case "deflate-all":
+		return DeflateAll{}, nil
+	case "adversary":
+		return LoadedMachineAdversary{}, nil
+	case "correlated":
+		return MachineCorrelated{}, nil
+	default:
+		return nil, fmt.Errorf("uncertainty: unknown model %q", name)
+	}
+}
+
+// Names lists the models accepted by New.
+func Names() []string {
+	return []string{"adversary", "correlated", "deflate-all", "exact", "extremes", "inflate-all", "lognormal", "uniform"}
+}
+
+// Exact leaves actual times equal to the estimates: the clairvoyant
+// baseline (f_j = 1 for all j).
+type Exact struct{}
+
+// Name implements Model.
+func (Exact) Name() string { return "exact" }
+
+// Perturb implements Model.
+func (Exact) Perturb(in *task.Instance, _ *Context, _ *rng.Source) {
+	for j := range in.Tasks {
+		in.Tasks[j].Actual = in.Tasks[j].Estimate
+	}
+}
+
+// Uniform draws each factor log-uniformly from [1/α, α]; inflation and
+// deflation are symmetric in expectation.
+type Uniform struct{}
+
+// Name implements Model.
+func (Uniform) Name() string { return "uniform" }
+
+// Perturb implements Model.
+func (Uniform) Perturb(in *task.Instance, _ *Context, src *rng.Source) {
+	for j := range in.Tasks {
+		in.Tasks[j].Actual = in.Tasks[j].Estimate * src.BoundedFactor(in.Alpha)
+	}
+}
+
+// LogNormal draws factors exp(N(0, Sigma²)) clamped to [1/α, α]: most
+// tasks barely move, a few hit the bound — the empirically common case.
+type LogNormal struct {
+	// Sigma is the standard deviation of the factor's logarithm.
+	Sigma float64
+}
+
+// Name implements Model.
+func (l LogNormal) Name() string { return fmt.Sprintf("lognormal(%.2g)", l.Sigma) }
+
+// Perturb implements Model.
+func (l LogNormal) Perturb(in *task.Instance, _ *Context, src *rng.Source) {
+	for j := range in.Tasks {
+		in.Tasks[j].Actual = in.Tasks[j].Estimate * src.ClampedLogNormalFactor(in.Alpha, l.Sigma)
+	}
+}
+
+// Extremes sets every factor to either α or 1/α with equal
+// probability: all mass on the boundary of the uncertainty set.
+type Extremes struct{}
+
+// Name implements Model.
+func (Extremes) Name() string { return "extremes" }
+
+// Perturb implements Model.
+func (Extremes) Perturb(in *task.Instance, _ *Context, src *rng.Source) {
+	for j := range in.Tasks {
+		f := in.Alpha
+		if src.Bool(0.5) {
+			f = 1 / in.Alpha
+		}
+		in.Tasks[j].Actual = in.Tasks[j].Estimate * f
+	}
+}
+
+// InflateAll multiplies every task by α: the system was uniformly
+// slower than predicted. Relative loads are preserved, so competitive
+// ratios should stay near the clairvoyant ones.
+type InflateAll struct{}
+
+// Name implements Model.
+func (InflateAll) Name() string { return "inflate-all" }
+
+// Perturb implements Model.
+func (InflateAll) Perturb(in *task.Instance, _ *Context, _ *rng.Source) {
+	for j := range in.Tasks {
+		in.Tasks[j].Actual = in.Tasks[j].Estimate * in.Alpha
+	}
+}
+
+// DeflateAll multiplies every task by 1/α.
+type DeflateAll struct{}
+
+// Name implements Model.
+func (DeflateAll) Name() string { return "deflate-all" }
+
+// Perturb implements Model.
+func (DeflateAll) Perturb(in *task.Instance, _ *Context, _ *rng.Source) {
+	for j := range in.Tasks {
+		in.Tasks[j].Actual = in.Tasks[j].Estimate / in.Alpha
+	}
+}
+
+// LoadedMachineAdversary implements the perturbation from the paper's
+// Theorem 1 proof: find the machine with the largest estimated load
+// under the given placement, inflate the tasks preferred to it by α,
+// and deflate all other tasks by 1/α. Without placement context it
+// inflates the tasks with the largest estimates (a 1/m fraction),
+// which is the worst case against load-oblivious schedules.
+type LoadedMachineAdversary struct{}
+
+// Name implements Model.
+func (LoadedMachineAdversary) Name() string { return "adversary" }
+
+// Perturb implements Model.
+func (LoadedMachineAdversary) Perturb(in *task.Instance, ctx *Context, _ *rng.Source) {
+	target := targetSet(in, ctx)
+	for j := range in.Tasks {
+		if target[j] {
+			in.Tasks[j].Actual = in.Tasks[j].Estimate * in.Alpha
+		} else {
+			in.Tasks[j].Actual = in.Tasks[j].Estimate / in.Alpha
+		}
+	}
+}
+
+// MachineCorrelated models machine-level slowdowns (thermal
+// throttling, a slow disk, a noisy neighbor): one factor is drawn per
+// machine — log-uniform in [1/α, α] — and every task applies its
+// *preferred* machine's factor. Tasks on the same machine therefore
+// rise and fall together, the correlation structure that hurts fixed
+// placements most in practice. Without placement context, tasks are
+// binned into M pseudo-machines by ID.
+type MachineCorrelated struct{}
+
+// Name implements Model.
+func (MachineCorrelated) Name() string { return "correlated" }
+
+// Perturb implements Model.
+func (MachineCorrelated) Perturb(in *task.Instance, ctx *Context, src *rng.Source) {
+	m := in.M
+	if ctx != nil && ctx.M > 0 {
+		m = ctx.M
+	}
+	factors := make([]float64, m)
+	for i := range factors {
+		factors[i] = src.BoundedFactor(in.Alpha)
+	}
+	for j := range in.Tasks {
+		bin := j % m
+		if ctx != nil && len(ctx.Preferred) == in.N() {
+			if p := ctx.Preferred[j]; p >= 0 && p < m {
+				bin = p
+			}
+		}
+		in.Tasks[j].Actual = in.Tasks[j].Estimate * factors[bin]
+	}
+}
+
+// targetSet returns the set of tasks the adversary inflates.
+func targetSet(in *task.Instance, ctx *Context) map[int]bool {
+	target := make(map[int]bool)
+	if ctx != nil && len(ctx.Preferred) == in.N() && ctx.M > 0 {
+		loads := make([]float64, ctx.M)
+		for j, t := range in.Tasks {
+			i := ctx.Preferred[j]
+			if i >= 0 && i < ctx.M {
+				loads[i] += t.Estimate
+			}
+		}
+		worst := 0
+		for i := 1; i < ctx.M; i++ {
+			if loads[i] > loads[worst] {
+				worst = i
+			}
+		}
+		for j := range in.Tasks {
+			if ctx.Preferred[j] == worst {
+				target[j] = true
+			}
+		}
+		return target
+	}
+	// No placement knowledge: inflate the ceil(n/m) largest tasks.
+	idx := make([]int, in.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return in.Tasks[idx[a]].Estimate > in.Tasks[idx[b]].Estimate
+	})
+	m := in.M
+	if m <= 0 {
+		m = 1
+	}
+	k := (in.N() + m - 1) / m
+	for _, j := range idx[:k] {
+		target[j] = true
+	}
+	return target
+}

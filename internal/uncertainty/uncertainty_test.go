@@ -1,0 +1,259 @@
+package uncertainty
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/workload"
+)
+
+func freshInstance(t *testing.T, n, m int, alpha float64) *task.Instance {
+	t.Helper()
+	return workload.MustNew(workload.Spec{Name: "uniform", N: n, M: m, Alpha: alpha, Seed: 42})
+}
+
+func TestAllModelsRespectEquationOne(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			model, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := freshInstance(t, 300, 6, 1.8)
+			model.Perturb(in, nil, rng.New(7))
+			if err := in.Validate(true); err != nil {
+				t.Fatalf("%s broke Equation 1: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	for _, name := range Names() {
+		m, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if m.Name() == "" {
+			t.Errorf("model %q has empty Name()", name)
+		}
+	}
+	// Parameterized names render their parameter.
+	if got := (LogNormal{Sigma: 0.3}).Name(); got != "lognormal(0.3)" {
+		t.Errorf("LogNormal name = %q", got)
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestExactKeepsEstimates(t *testing.T) {
+	in := freshInstance(t, 50, 4, 2)
+	Exact{}.Perturb(in, nil, rng.New(1))
+	for _, tk := range in.Tasks {
+		if tk.Actual != tk.Estimate {
+			t.Fatalf("exact model moved task %d", tk.ID)
+		}
+	}
+}
+
+func TestInflateDeflateAll(t *testing.T) {
+	in := freshInstance(t, 20, 4, 1.5)
+	InflateAll{}.Perturb(in, nil, nil)
+	for _, tk := range in.Tasks {
+		if math.Abs(tk.Actual-tk.Estimate*1.5) > 1e-12 {
+			t.Fatalf("inflate-all: task %d actual %v", tk.ID, tk.Actual)
+		}
+	}
+	DeflateAll{}.Perturb(in, nil, nil)
+	for _, tk := range in.Tasks {
+		if math.Abs(tk.Actual-tk.Estimate/1.5) > 1e-12 {
+			t.Fatalf("deflate-all: task %d actual %v", tk.ID, tk.Actual)
+		}
+	}
+}
+
+func TestExtremesOnBoundary(t *testing.T) {
+	in := freshInstance(t, 500, 4, 2)
+	Extremes{}.Perturb(in, nil, rng.New(3))
+	hi, lo := 0, 0
+	for _, tk := range in.Tasks {
+		switch {
+		case math.Abs(tk.Actual-2*tk.Estimate) < 1e-12:
+			hi++
+		case math.Abs(tk.Actual-tk.Estimate/2) < 1e-12:
+			lo++
+		default:
+			t.Fatalf("extremes produced interior factor for task %d", tk.ID)
+		}
+	}
+	if hi == 0 || lo == 0 {
+		t.Fatalf("extremes never used one boundary: hi=%d lo=%d", hi, lo)
+	}
+}
+
+func TestAdversaryWithContextTargetsLoadedMachine(t *testing.T) {
+	// 3 machines; machine 1 carries twice the load.
+	est := []float64{1, 1, 1, 1}
+	in, err := task.NewEstimated(3, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Preferred: []int{0, 1, 1, 2}, M: 3}
+	LoadedMachineAdversary{}.Perturb(in, ctx, rng.New(1))
+	// Tasks 1 and 2 (machine 1) inflated; 0 and 3 deflated.
+	want := []float64{0.5, 2, 2, 0.5}
+	for j, w := range want {
+		if math.Abs(in.Tasks[j].Actual-w) > 1e-12 {
+			t.Fatalf("task %d actual %v, want %v", j, in.Tasks[j].Actual, w)
+		}
+	}
+}
+
+func TestAdversaryWithoutContextInflatesLargest(t *testing.T) {
+	est := []float64{5, 1, 1, 1, 1, 1}
+	in, err := task.NewEstimated(3, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	LoadedMachineAdversary{}.Perturb(in, nil, rng.New(1))
+	if in.Tasks[0].Actual != 10 {
+		t.Fatalf("largest task not inflated: %v", in.Tasks[0].Actual)
+	}
+	deflated := 0
+	for _, tk := range in.Tasks[1:] {
+		if tk.Actual == tk.Estimate/2 {
+			deflated++
+		}
+	}
+	if deflated < 4 {
+		t.Fatalf("expected at least 4 deflated tasks, got %d", deflated)
+	}
+}
+
+func TestAdversaryRaisesRatioAboveUniform(t *testing.T) {
+	// The adversary should hurt a fixed placement more than symmetric
+	// random noise does: compare the resulting max-load of the targeted
+	// machine.
+	in := freshInstance(t, 60, 6, 2)
+	pref := make([]int, in.N())
+	for j := range pref {
+		pref[j] = j % 6
+	}
+	ctx := &Context{Preferred: pref, M: 6}
+
+	adv := in.Clone()
+	LoadedMachineAdversary{}.Perturb(adv, ctx, rng.New(5))
+	uni := in.Clone()
+	Uniform{}.Perturb(uni, ctx, rng.New(5))
+
+	maxLoad := func(ins *task.Instance) float64 {
+		loads := make([]float64, 6)
+		for j, tk := range ins.Tasks {
+			loads[pref[j]] += tk.Actual
+		}
+		max := 0.0
+		for _, l := range loads {
+			if l > max {
+				max = l
+			}
+		}
+		return max
+	}
+	if maxLoad(adv) <= maxLoad(uni) {
+		t.Fatalf("adversary max load %v not above uniform %v", maxLoad(adv), maxLoad(uni))
+	}
+}
+
+func TestUniformSpansRange(t *testing.T) {
+	in := freshInstance(t, 2000, 4, 2)
+	Uniform{}.Perturb(in, nil, rng.New(9))
+	sawLow, sawHigh := false, false
+	for _, tk := range in.Tasks {
+		f := tk.Actual / tk.Estimate
+		if f < 0.6 {
+			sawLow = true
+		}
+		if f > 1.7 {
+			sawHigh = true
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Fatalf("uniform factors did not span range: low=%v high=%v", sawLow, sawHigh)
+	}
+}
+
+func TestLogNormalMostlyNearOne(t *testing.T) {
+	in := freshInstance(t, 2000, 4, 2)
+	LogNormal{Sigma: 0.1}.Perturb(in, nil, rng.New(11))
+	near := 0
+	for _, tk := range in.Tasks {
+		f := tk.Actual / tk.Estimate
+		if f > 0.8 && f < 1.25 {
+			near++
+		}
+	}
+	if frac := float64(near) / float64(in.N()); frac < 0.9 {
+		t.Fatalf("lognormal(0.1): only %v of factors near 1", frac)
+	}
+}
+
+func TestMachineCorrelatedSharesFactors(t *testing.T) {
+	est := []float64{2, 3, 5, 7}
+	in, err := task.NewEstimated(2, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{Preferred: []int{0, 0, 1, 1}, M: 2}
+	MachineCorrelated{}.Perturb(in, ctx, rng.New(5))
+	f0a := in.Tasks[0].Actual / in.Tasks[0].Estimate
+	f0b := in.Tasks[1].Actual / in.Tasks[1].Estimate
+	f1a := in.Tasks[2].Actual / in.Tasks[2].Estimate
+	f1b := in.Tasks[3].Actual / in.Tasks[3].Estimate
+	if math.Abs(f0a-f0b) > 1e-12 || math.Abs(f1a-f1b) > 1e-12 {
+		t.Fatalf("factors not shared within machines: %v %v / %v %v", f0a, f0b, f1a, f1b)
+	}
+	if math.Abs(f0a-f1a) < 1e-12 {
+		t.Fatalf("factors identical across machines (suspicious): %v", f0a)
+	}
+	if err := in.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineCorrelatedWithoutContextBinsById(t *testing.T) {
+	est := []float64{1, 1, 1, 1}
+	in, err := task.NewEstimated(2, 2, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MachineCorrelated{}.Perturb(in, nil, rng.New(9))
+	// Bins by ID modulo m: tasks 0,2 share a factor; 1,3 share one.
+	if in.Tasks[0].Actual != in.Tasks[2].Actual || in.Tasks[1].Actual != in.Tasks[3].Actual {
+		t.Fatalf("ID binning broken: %v", in.Actuals())
+	}
+}
+
+func TestPerturbPropertyNeverEscapesBounds(t *testing.T) {
+	models := Names()
+	f := func(seed uint64, which uint8, alphaRaw uint8) bool {
+		alpha := 1 + float64(alphaRaw%30)/10 // [1, 4)
+		model, err := New(models[int(which)%len(models)])
+		if err != nil {
+			return false
+		}
+		in := workload.MustNew(workload.Spec{Name: "zipf", N: 64, M: 5, Alpha: alpha, Seed: seed})
+		model.Perturb(in, nil, rng.New(seed^0xabcdef))
+		return in.Validate(true) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/task"
+)
+
+// WriteCSV exports an instance as CSV with header
+// "task,estimate,actual,size" — the interchange format for feeding
+// real traces into the scheduler or exporting generated workloads to
+// external analysis tools.
+func WriteCSV(w io.Writer, in *task.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "estimate", "actual", "size"}); err != nil {
+		return err
+	}
+	for _, t := range in.Tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			strconv.FormatFloat(t.Estimate, 'g', -1, 64),
+			strconv.FormatFloat(t.Actual, 'g', -1, 64),
+			strconv.FormatFloat(t.Size, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports an instance from the WriteCSV format. The column
+// order is fixed; the "actual" and "size" columns may be empty, in
+// which case actuals default to the estimates and sizes to zero.
+// Task IDs are reassigned in row order. m and alpha describe the
+// system the trace targets.
+func ReadCSV(r io.Reader, m int, alpha float64) (*task.Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "task" || header[1] != "estimate" {
+		return nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	in := &task.Instance{M: m, Alpha: alpha}
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV row %d: %w", row, err)
+		}
+		est, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: CSV row %d estimate: %w", row, err)
+		}
+		t := task.Task{ID: len(in.Tasks), Estimate: est, Actual: est}
+		if rec[2] != "" {
+			if t.Actual, err = strconv.ParseFloat(rec[2], 64); err != nil {
+				return nil, fmt.Errorf("workload: CSV row %d actual: %w", row, err)
+			}
+		}
+		if rec[3] != "" {
+			if t.Size, err = strconv.ParseFloat(rec[3], 64); err != nil {
+				return nil, fmt.Errorf("workload: CSV row %d size: %w", row, err)
+			}
+		}
+		in.Tasks = append(in.Tasks, t)
+	}
+	if err := in.Validate(false); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := MustNew(Spec{Name: "spmv", N: 25, M: 4, Alpha: 1.5, Seed: 3})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != in.N() || got.M != 4 || got.Alpha != 1.5 {
+		t.Fatalf("shape changed: %v", got)
+	}
+	for i := range in.Tasks {
+		if got.Tasks[i] != in.Tasks[i] {
+			t.Fatalf("task %d changed: %+v vs %+v", i, got.Tasks[i], in.Tasks[i])
+		}
+	}
+}
+
+func TestReadCSVDefaults(t *testing.T) {
+	csv := "task,estimate,actual,size\n0,5,,\n1,3,,\n"
+	in, err := ReadCSV(strings.NewReader(csv), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks[0].Actual != 5 || in.Tasks[0].Size != 0 {
+		t.Fatalf("defaults wrong: %+v", in.Tasks[0])
+	}
+}
+
+func TestReadCSVReassignsIDs(t *testing.T) {
+	csv := "task,estimate,actual,size\n99,5,5,0\n42,3,3,0\n"
+	in, err := ReadCSV(strings.NewReader(csv), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Tasks[0].ID != 0 || in.Tasks[1].ID != 1 {
+		t.Fatalf("IDs not reassigned: %+v", in.Tasks)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no header
+		"a,b,c,d\n",                            // wrong header
+		"task,estimate,actual,size\nx,y\n",     // wrong column count
+		"task,estimate,actual,size\n0,x,,\n",   // bad estimate
+		"task,estimate,actual,size\n0,5,x,\n",  // bad actual
+		"task,estimate,actual,size\n0,5,5,x\n", // bad size
+		"task,estimate,actual,size\n0,-1,,\n",  // invalid instance
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), 2, 2); err == nil {
+			t.Errorf("CSV %q accepted", c)
+		}
+	}
+}
+
+func TestReadCSVEmptyBody(t *testing.T) {
+	// Header only: zero tasks is an invalid instance.
+	if _, err := ReadCSV(strings.NewReader("task,estimate,actual,size\n"), 2, 2); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}

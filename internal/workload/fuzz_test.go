@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV
+// importer and that accepted inputs survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("task,estimate,actual,size\n0,5,6,2\n")
+	f.Add("task,estimate,actual,size\n0,5,,\n1,3,,\n")
+	f.Add("task,estimate\n0,5\n")
+	f.Add("")
+	f.Add("task,estimate,actual,size\n0,-5,,\n")
+	f.Add("task,estimate,actual,size\n0,nan,,\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		in, err := ReadCSV(strings.NewReader(input), 4, 2)
+		if err != nil {
+			return // rejected input: fine
+		}
+		// Accepted input must be a valid instance and round-trip.
+		if err := in.Validate(false); err != nil {
+			t.Fatalf("ReadCSV accepted invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, in); err != nil {
+			t.Fatalf("WriteCSV failed on accepted instance: %v", err)
+		}
+		again, err := ReadCSV(&buf, 4, 2)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.N() != in.N() {
+			t.Fatalf("round trip changed task count %d → %d", in.N(), again.N())
+		}
+	})
+}

@@ -1,0 +1,283 @@
+// Package workload generates synthetic problem instances.
+//
+// The paper motivates its model with out-of-core sparse linear algebra
+// (tasks iterate over matrix partitions whose runtimes are predictable
+// only within a range) and Hadoop/MapReduce systems (replicated data,
+// uncertain job sizes). This package provides generators for those
+// scenarios plus the standard synthetic families used throughout the
+// scheduling literature (uniform, non-increasing, bimodal, Zipf-skewed).
+//
+// A generator produces the *estimated* processing times p̃_j (and,
+// where meaningful, memory sizes s_j). Actual processing times are
+// produced separately by package uncertainty, so the same workload can
+// be stressed under several perturbation models.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// Spec describes one workload draw.
+type Spec struct {
+	// Name selects the generator; see Generators for the registry.
+	Name string
+	// N is the number of tasks.
+	N int
+	// M is the number of machines recorded in the instance.
+	M int
+	// Alpha is the uncertainty factor recorded in the instance.
+	Alpha float64
+	// Seed feeds the deterministic RNG.
+	Seed uint64
+	// Param is a generator-specific shape parameter (for example the
+	// Zipf exponent); 0 selects the generator's default.
+	Param float64
+}
+
+// Generator builds the estimated times and sizes of an instance.
+type Generator func(spec Spec, src *rng.Source) (estimates, sizes []float64)
+
+// Generators is the registry of named workload families.
+var Generators = map[string]Generator{
+	"uniform":     Uniform,
+	"decreasing":  Decreasing,
+	"bimodal":     Bimodal,
+	"zipf":        Zipf,
+	"unit":        Unit,
+	"spmv":        SpMV,
+	"mapreduce":   MapReduce,
+	"iterative":   IterativeSolver,
+	"exponential": Exponential,
+}
+
+// Names returns the registered generator names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Generators))
+	for name := range Generators {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New draws an instance from the named generator. Actual times are
+// initialized to the estimates; apply an uncertainty model to perturb
+// them. It returns an error for unknown names or invalid shapes.
+func New(spec Spec) (*task.Instance, error) {
+	gen, ok := Generators[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown generator %q (have %v)", spec.Name, Names())
+	}
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", spec.N)
+	}
+	if spec.M <= 0 {
+		return nil, fmt.Errorf("workload: m must be positive, got %d", spec.M)
+	}
+	alpha := spec.Alpha
+	if alpha == 0 {
+		alpha = 1
+	}
+	src := rng.New(spec.Seed)
+	est, sizes := gen(spec, src)
+	in, err := task.NewEstimated(spec.M, alpha, est)
+	if err != nil {
+		return nil, err
+	}
+	if sizes != nil {
+		if err := in.SetSizes(sizes); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// MustNew is New but panics on error; for tests and examples with
+// hard-coded specs.
+func MustNew(spec Spec) *task.Instance {
+	in, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Unit produces n tasks of estimated time 1 — the shape used by the
+// paper's Theorem 1 adversary. Sizes are all 1.
+func Unit(spec Spec, _ *rng.Source) ([]float64, []float64) {
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		est[i] = 1
+		sizes[i] = 1
+	}
+	return est, sizes
+}
+
+// Uniform draws estimates uniformly from [1, hi] where hi = Param
+// (default 100). Sizes are drawn independently from the same range,
+// modelling tasks whose memory footprint is uncorrelated with runtime.
+func Uniform(spec Spec, src *rng.Source) ([]float64, []float64) {
+	hi := spec.Param
+	if hi <= 1 {
+		hi = 100
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		est[i] = src.Uniform(1, hi)
+		sizes[i] = src.Uniform(1, hi)
+	}
+	return est, sizes
+}
+
+// Decreasing produces estimates 1/1, 1/2, ..., 1/n scaled so the
+// largest is Param (default 100): a long-tail of shrinking tasks, the
+// classic hard shape for LPT. Sizes equal the estimates.
+func Decreasing(spec Spec, _ *rng.Source) ([]float64, []float64) {
+	scale := spec.Param
+	if scale <= 0 {
+		scale = 100
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		est[i] = scale / float64(i+1)
+		sizes[i] = est[i]
+	}
+	return est, sizes
+}
+
+// Bimodal mixes short tasks (time 1) and long tasks (time Param,
+// default 50) in a 9:1 ratio — a straggler-heavy population. Long tasks
+// also carry 10x the memory.
+func Bimodal(spec Spec, src *rng.Source) ([]float64, []float64) {
+	long := spec.Param
+	if long <= 1 {
+		long = 50
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		if src.Bool(0.1) {
+			est[i] = long
+			sizes[i] = 10
+		} else {
+			est[i] = 1
+			sizes[i] = 1
+		}
+	}
+	return est, sizes
+}
+
+// Zipf draws estimates proportional to a Zipf law with exponent Param
+// (default 1.1) over 1000 ranks: few huge tasks, many tiny ones. Sizes
+// follow the estimates, as in data-parallel systems where runtime
+// scales with partition size.
+func Zipf(spec Spec, src *rng.Source) ([]float64, []float64) {
+	theta := spec.Param
+	if theta <= 0 {
+		theta = 1.1
+	}
+	z := rng.NewZipf(src, 1000, theta)
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		// Rank r maps to time 1000/r: rank 1 is the largest task.
+		r := z.Draw()
+		est[i] = 1000 / float64(r)
+		sizes[i] = est[i]
+	}
+	return est, sizes
+}
+
+// Exponential draws i.i.d. exponential estimates with mean Param
+// (default 10), clamped below at 0.01. Sizes are constant 1,
+// modelling compute-bound tasks over equal-size partitions.
+func Exponential(spec Spec, src *rng.Source) ([]float64, []float64) {
+	mean := spec.Param
+	if mean <= 0 {
+		mean = 10
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		e := src.Exp(1 / mean)
+		if e < 0.01 {
+			e = 0.01
+		}
+		est[i] = e
+		sizes[i] = 1
+	}
+	return est, sizes
+}
+
+// SpMV models out-of-core sparse matrix–vector tasks (the paper's
+// Zhou et al. motivation): each task processes a block of matrix rows.
+// Row populations are log-normal (empirically matching scale-free
+// matrices), runtime is proportional to the block's nonzero count, and
+// memory size is proportional to nonzeros plus a fixed vector slice.
+// Param scales the log-normal sigma (default 1).
+func SpMV(spec Spec, src *rng.Source) ([]float64, []float64) {
+	sigma := spec.Param
+	if sigma <= 0 {
+		sigma = 1
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		nnz := src.LogNormal(math.Log(1000), sigma)
+		if nnz < 1 {
+			nnz = 1
+		}
+		// Runtime ~ flops ~ nnz; normalize to a convenient scale.
+		est[i] = nnz / 100
+		// Memory: nonzeros (value+index) plus the dense vector slice.
+		sizes[i] = nnz/50 + 4
+	}
+	return est, sizes
+}
+
+// MapReduce models a reduce stage: key groups follow a Zipf law
+// (exponent Param, default 1.05), so a few reducers receive huge
+// partitions. Memory size equals the partition size; runtime is the
+// partition size plus a per-task startup constant.
+func MapReduce(spec Spec, src *rng.Source) ([]float64, []float64) {
+	theta := spec.Param
+	if theta <= 0 {
+		theta = 1.05
+	}
+	z := rng.NewZipf(src, 4096, theta)
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		partition := 4096 / float64(z.Draw())
+		est[i] = partition + 2 // startup overhead
+		sizes[i] = partition
+	}
+	return est, sizes
+}
+
+// IterativeSolver models one sweep of an iterative out-of-core solver:
+// tasks are matrix partitions balanced offline, so estimates cluster
+// tightly around a common value (relative spread Param, default 0.1),
+// while sizes vary more (partition padding). This is the regime where
+// uncertainty, not size dispersion, dominates load imbalance.
+func IterativeSolver(spec Spec, src *rng.Source) ([]float64, []float64) {
+	spread := spec.Param
+	if spread <= 0 {
+		spread = 0.1
+	}
+	est := make([]float64, spec.N)
+	sizes := make([]float64, spec.N)
+	for i := range est {
+		est[i] = 10 * src.Uniform(1-spread, 1+spread)
+		sizes[i] = 10 * src.Uniform(0.5, 1.5)
+	}
+	return est, sizes
+}
