@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figs fuzz clean
+.PHONY: all build test race check cover bench figs fuzz clean
 
 all: build test
 
@@ -16,7 +16,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/sim/
+	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/
+
+# Full gate: what CI runs. Vet, build, and the whole test suite under
+# the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 cover:
 	$(GO) test -cover ./internal/...

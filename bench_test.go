@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memaware"
+	"repro/internal/opt"
 	"repro/internal/rng"
 	"repro/internal/uncertainty"
 	"repro/internal/workload"
@@ -87,6 +88,54 @@ func BenchmarkStealing(b *testing.B) { benchExperiment(b, "e9") }
 
 // BenchmarkFailures runs E10 (fail-stop crash survivability).
 func BenchmarkFailures(b *testing.B) { benchExperiment(b, "e10") }
+
+// BenchmarkExperimentWorkers contrasts the fully sequential
+// (Workers=1) and fan-out (Workers=0) renderings of E2. The harness
+// guarantees both produce byte-identical reports, so the difference is
+// pure parallel speedup.
+func BenchmarkExperimentWorkers(b *testing.B) {
+	e, err := experiments.Get("e2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiments.Options{Quick: true, Workers: bc.workers}
+				if err := e.Run(io.Discard, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateCache measures opt.Estimate on one instance under
+// repetition: cold pays for the solve, warm hits the memo cache.
+func BenchmarkEstimateCache(b *testing.B) {
+	src := rng.New(7)
+	times := make([]float64, 64)
+	for i := range times {
+		times[i] = src.Uniform(1, 10)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt.ResetCache()
+			opt.Estimate(times, 8, len(times))
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opt.ResetCache()
+		opt.Estimate(times, 8, len(times))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opt.Estimate(times, 8, len(times))
+		}
+	})
+}
 
 // BenchmarkScaling measures the end-to-end two-phase pipeline
 // (placement + simulation) per strategy and task count — the data

@@ -3,11 +3,20 @@
 // -out DIR each experiment's report is also written to DIR/<id>.txt
 // and the figure data series to DIR/<id>.csv where applicable.
 //
+// Experiments render concurrently (bounded by -workers) into private
+// buffers and are printed in ID order, so stdout is byte-identical to
+// a sequential run. Profiling and observability flags:
+//
+//	-cpuprofile f   write a pprof CPU profile to f
+//	-memprofile f   write a pprof heap profile to f on exit
+//	-stats          print internal counters/timers to stderr on exit
+//
 // Examples:
 //
 //	paperfigs -exp all
 //	paperfigs -exp fig3,fig6 -out out/
-//	paperfigs -exp e2 -quick
+//	paperfigs -exp e2 -quick -stats
+//	paperfigs -exp all -cpuprofile cpu.pprof -workers 4
 package main
 
 import (
@@ -16,22 +25,65 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id(s), comma separated, or all (ids: "+idList()+")")
-		outDir = flag.String("out", "", "also write per-experiment artifacts to this directory")
-		quick  = flag.Bool("quick", false, "reduced trial counts (for smoke tests)")
-		seed   = flag.Uint64("seed", 0, "seed offset (0 = published outputs)")
+		exp        = flag.String("exp", "all", "experiment id(s), comma separated, or all (ids: "+idList()+")")
+		outDir     = flag.String("out", "", "also write per-experiment artifacts to this directory")
+		quick      = flag.Bool("quick", false, "reduced trial counts (for smoke tests)")
+		seed       = flag.Uint64("seed", 0, "seed offset (0 = published outputs)")
+		workers    = flag.Int("workers", 0, "max concurrent experiments/trials (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file on exit")
+		stats      = flag.Bool("stats", false, "print internal counters and timers to stderr on exit")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	if err := run(*exp, *outDir, opts); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	err := run(*exp, *outDir, opts)
+
+	if *memprofile != "" {
+		if f, ferr := os.Create(*memprofile); ferr == nil {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: memprofile:", werr)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "paperfigs: memprofile:", ferr)
+		}
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, "--- paperfigs internal stats ---")
+		if werr := obs.Write(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "paperfigs: stats:", werr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
@@ -66,28 +118,36 @@ func run(exp, outDir string, opts experiments.Options) error {
 			return err
 		}
 	}
-	for _, e := range list {
+
+	// Render every requested experiment concurrently into its own
+	// buffer, then emit reports and artifacts in request order so the
+	// output is byte-identical to a sequential run.
+	type rendered struct {
+		report []byte
+		err    error
+	}
+	results := par.Map(len(list), opts.Workers, func(i int) rendered {
+		var buf strings.Builder
+		defer obs.GetTimer("experiment." + list[i].ID()).Start()()
+		err := list[i].Run(&buf, opts)
+		return rendered{report: []byte(buf.String()), err: err}
+	})
+
+	for i, e := range list {
 		fmt.Printf("==================================================================\n")
 		fmt.Printf("%s — %s\n", e.ID(), e.Title())
 		fmt.Printf("==================================================================\n")
-		var w io.Writer = os.Stdout
-		var file *os.File
+		if _, err := os.Stdout.Write(results[i].report); err != nil {
+			return err
+		}
 		if outDir != "" {
-			var err error
-			file, err = os.Create(filepath.Join(outDir, e.ID()+".txt"))
-			if err != nil {
+			if err := os.WriteFile(filepath.Join(outDir, e.ID()+".txt"),
+				results[i].report, 0o644); err != nil {
 				return err
 			}
-			w = io.MultiWriter(os.Stdout, file)
 		}
-		err := e.Run(w, opts)
-		if file != nil {
-			if cerr := file.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID(), err)
+		if results[i].err != nil {
+			return fmt.Errorf("%s: %w", e.ID(), results[i].err)
 		}
 		if outDir != "" {
 			if err := writeCSV(e.ID(), outDir, opts); err != nil {

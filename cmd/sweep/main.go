@@ -9,22 +9,32 @@
 //	emp    — measured makespan of each strategy as α sweeps, on a
 //	         random workload (end-to-end pipeline)
 //
+// In emp mode the trials of each (α, strategy) cell run concurrently
+// with pre-drawn seeds, so the CSV is byte-identical regardless of
+// -workers. Profiling flags mirror cmd/paperfigs: -cpuprofile,
+// -memprofile, and -stats (internal counters to stderr).
+//
 // Examples:
 //
 //	sweep -mode ratio -m 210 -alphas 1.1,1.5,2 > fig3.csv
 //	sweep -mode memory -m 5 -alpha2 3 -rho 1 > fig6b.csv
 //	sweep -mode emp -m 12 -n 240 -alphas 1,1.25,1.5,2,3 > emp.csv
+//	sweep -mode emp -m 12 -trials 50 -stats -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/bounds"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -34,19 +44,58 @@ import (
 
 func main() {
 	var (
-		mode   = flag.String("mode", "ratio", "ratio | memory | emp")
-		m      = flag.Int("m", 210, "number of machines")
-		n      = flag.Int("n", 0, "tasks (emp mode; 0 = 10·m)")
-		alphas = flag.String("alphas", "1.1,1.5,2", "comma-separated α list")
-		alpha2 = flag.Float64("alpha2", 2, "α² (memory mode)")
-		rho    = flag.Float64("rho", 4.0/3, "ρ1 = ρ2 (memory mode)")
-		trials = flag.Int("trials", 5, "trials per point (emp mode)")
-		seed   = flag.Uint64("seed", 1, "RNG seed (emp mode)")
-		wl     = flag.String("workload", "iterative", "workload generator (emp mode)")
+		mode       = flag.String("mode", "ratio", "ratio | memory | emp")
+		m          = flag.Int("m", 210, "number of machines")
+		n          = flag.Int("n", 0, "tasks (emp mode; 0 = 10·m)")
+		alphas     = flag.String("alphas", "1.1,1.5,2", "comma-separated α list")
+		alpha2     = flag.Float64("alpha2", 2, "α² (memory mode)")
+		rho        = flag.Float64("rho", 4.0/3, "ρ1 = ρ2 (memory mode)")
+		trials     = flag.Int("trials", 5, "trials per point (emp mode)")
+		seed       = flag.Uint64("seed", 1, "RNG seed (emp mode)")
+		wl         = flag.String("workload", "iterative", "workload generator (emp mode)")
+		workers    = flag.Int("workers", 0, "max concurrent trials in emp mode (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write CPU profile to file")
+		memprofile = flag.String("memprofile", "", "write heap profile to file on exit")
+		statsFlag  = flag.Bool("stats", false, "print internal counters and timers to stderr on exit")
 	)
 	flag.Parse()
 
-	if err := run(*mode, *m, *n, *alphas, *alpha2, *rho, *trials, *seed, *wl); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	err := run(*mode, *m, *n, *alphas, *alpha2, *rho, *trials, *seed, *wl, *workers)
+
+	if *memprofile != "" {
+		if f, ferr := os.Create(*memprofile); ferr == nil {
+			runtime.GC()
+			if werr := pprof.WriteHeapProfile(f); werr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", werr)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "sweep: memprofile:", ferr)
+		}
+	}
+	if *statsFlag {
+		fmt.Fprintln(os.Stderr, "--- sweep internal stats ---")
+		if werr := obs.Write(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "sweep: stats:", werr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
@@ -71,7 +120,7 @@ func parseAlphas(s string) ([]float64, error) {
 }
 
 func run(mode string, m, n int, alphaList string, alpha2, rho float64,
-	trials int, seed uint64, wl string) error {
+	trials int, seed uint64, wl string, workers int) error {
 	switch mode {
 	case "ratio":
 		alphas, err := parseAlphas(alphaList)
@@ -122,22 +171,41 @@ func run(mode string, m, n int, alphaList string, alpha2, rho float64,
 		src := rng.New(seed)
 		for _, alpha := range alphas {
 			for _, c := range cfgs {
-				var mk, ratio []float64
 				trialSrc := rng.New(src.Uint64())
-				for t := 0; t < trials; t++ {
+				// Pre-draw each trial's (workload, perturb) seed pair in
+				// the sequential draw order, then fan the trials out; the
+				// CSV stays byte-identical for any worker count.
+				type trialSeeds struct{ base, perturb uint64 }
+				seeds := make([]trialSeeds, trials)
+				for t := range seeds {
+					seeds[t].base = trialSrc.Uint64()
+					seeds[t].perturb = trialSrc.Uint64()
+				}
+				type trialOut struct {
+					makespan, ratio float64
+					err             error
+				}
+				outs := par.Map(trials, workers, func(t int) trialOut {
 					in, err := workload.New(workload.Spec{
-						Name: wl, N: n, M: m, Alpha: alpha, Seed: trialSrc.Uint64(),
+						Name: wl, N: n, M: m, Alpha: alpha, Seed: seeds[t].base,
 					})
 					if err != nil {
-						return err
+						return trialOut{err: err}
 					}
-					uncertainty.Uniform{}.Perturb(in, nil, rng.New(trialSrc.Uint64()))
+					uncertainty.Uniform{}.Perturb(in, nil, rng.New(seeds[t].perturb))
 					out, err := core.Run(in, c.cfg)
 					if err != nil {
-						return err
+						return trialOut{err: err}
 					}
-					mk = append(mk, out.Makespan)
-					ratio = append(ratio, out.RatioUpper)
+					return trialOut{makespan: out.Makespan, ratio: out.RatioUpper}
+				})
+				var mk, ratio []float64
+				for _, res := range outs {
+					if res.err != nil {
+						return res.err
+					}
+					mk = append(mk, res.makespan)
+					ratio = append(ratio, res.ratio)
 				}
 				tb.AddRow(alpha, c.label, stats.Summarize(mk).Mean, stats.Summarize(ratio).Mean)
 			}

@@ -22,31 +22,31 @@ func TestParseAlphasErrors(t *testing.T) {
 
 func TestRunModes(t *testing.T) {
 	// All three modes must complete without error on small parameters.
-	if err := run("ratio", 12, 0, "1.5", 2, 1, 1, 1, "iterative"); err != nil {
+	if err := run("ratio", 12, 0, "1.5", 2, 1, 1, 1, "iterative", 0); err != nil {
 		t.Errorf("ratio mode: %v", err)
 	}
-	if err := run("memory", 5, 0, "", 3, 1, 1, 1, "iterative"); err != nil {
+	if err := run("memory", 5, 0, "", 3, 1, 1, 1, "iterative", 0); err != nil {
 		t.Errorf("memory mode: %v", err)
 	}
-	if err := run("emp", 4, 12, "1.25", 2, 1, 2, 1, "uniform"); err != nil {
+	if err := run("emp", 4, 12, "1.25", 2, 1, 2, 1, "uniform", 0); err != nil {
 		t.Errorf("emp mode: %v", err)
 	}
 }
 
 func TestRunRejectsBadMode(t *testing.T) {
-	if err := run("nope", 4, 0, "1.5", 2, 1, 1, 1, "uniform"); err == nil {
+	if err := run("nope", 4, 0, "1.5", 2, 1, 1, 1, "uniform", 0); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }
 
 func TestRunRatioRejectsBadAlpha(t *testing.T) {
-	if err := run("ratio", 4, 0, "0.5", 2, 1, 1, 1, "uniform"); err == nil {
+	if err := run("ratio", 4, 0, "0.5", 2, 1, 1, 1, "uniform", 0); err == nil {
 		t.Fatal("alpha < 1 accepted")
 	}
 }
 
 func TestRunEmpRejectsBadWorkload(t *testing.T) {
-	if err := run("emp", 4, 10, "1.5", 2, 1, 1, 1, "bogus"); err == nil {
+	if err := run("emp", 4, 10, "1.5", 2, 1, 1, 1, "bogus", 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

@@ -98,7 +98,7 @@ func e1SeriesUncached(opts Options) (e1Params, []bounds.Series, error) {
 		uniform, advers []float64 // indexed by ks position
 		err             error
 	}
-	results := par.Map(trials, 0, func(trial int) trialResult {
+	results := par.Map(trials, opts.Workers, func(trial int) trialResult {
 		res := trialResult{
 			uniform: make([]float64, len(ks)),
 			advers:  make([]float64, len(ks)),

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"repro/internal/algo"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -53,25 +54,49 @@ func (e10) Run(w io.Writer, opts Options) error {
 	}
 	cells := make([]agg, len(variants))
 
-	for trial := 0; trial < trials; trial++ {
+	// Pre-draw every trial's randomness in the sequential order
+	// (workload seed, perturb seed, crash machine) before fanning out.
+	type trialSeeds struct {
+		base, perturb uint64
+		failMachine   int
+	}
+	seeds := make([]trialSeeds, trials)
+	for t := range seeds {
+		seeds[t].base = src.Uint64()
+		seeds[t].perturb = src.Uint64()
+		seeds[t].failMachine = src.Intn(m)
+	}
+	type variantOut struct {
+		healthy  float64
+		slowdown float64
+		lost     bool
+	}
+	type trialOut struct {
+		variants []variantOut
+		err      error
+	}
+	outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+		res := trialOut{variants: make([]variantOut, len(variants))}
 		in := workload.MustNew(workload.Spec{
-			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: src.Uint64(),
+			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: seeds[trial].base,
 		})
-		uncertainty.Uniform{}.Perturb(in, nil, rng.New(src.Uint64()))
-		failMachine := src.Intn(m)
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
+		failMachine := seeds[trial].failMachine
 
 		for vi, v := range variants {
 			p, err := v.algo.Place(in)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
 			order := v.algo.Order(in)
 
 			healthy, err := sim.RunWithFailures(in, p, order, nil)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
-			cells[vi].healthy = append(cells[vi].healthy, healthy.Makespan())
+			res.variants[vi].healthy = healthy.Makespan()
 
 			// Crash mid-run: halfway through the healthy makespan.
 			failTime := healthy.Makespan() / 2
@@ -79,12 +104,27 @@ func (e10) Run(w io.Writer, opts Options) error {
 				[]sim.Failure{{Machine: failMachine, Time: failTime}})
 			switch {
 			case errors.Is(err, sim.ErrUnsurvivable):
-				cells[vi].lost++
+				res.variants[vi].lost = true
 			case err != nil:
-				return err
+				res.err = err
+				return res
 			default:
-				cells[vi].degraded = append(cells[vi].degraded,
-					crashed.Makespan()/healthy.Makespan())
+				res.variants[vi].slowdown = crashed.Makespan() / healthy.Makespan()
+			}
+		}
+		return res
+	})
+	for _, res := range outs {
+		if res.err != nil {
+			return res.err
+		}
+		for vi := range variants {
+			v := res.variants[vi]
+			cells[vi].healthy = append(cells[vi].healthy, v.healthy)
+			if v.lost {
+				cells[vi].lost++
+			} else {
+				cells[vi].degraded = append(cells[vi].degraded, v.slowdown)
 			}
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/uncertainty"
@@ -53,6 +54,7 @@ func (e2) Run(w io.Writer, opts Options) error {
 		"worst measured", "margin", "samples")
 	violations := 0
 	for _, cell := range grid {
+		cell := cell
 		cfgs := []core.Config{
 			{Strategy: core.NoReplication, ExactLimit: n},
 			{Strategy: core.ReplicateEverywhere, ExactLimit: n},
@@ -61,36 +63,75 @@ func (e2) Run(w io.Writer, opts Options) error {
 		if cell.m%2 == 0 {
 			cfgs = append(cfgs, core.Config{Strategy: core.Groups, Groups: 2, ExactLimit: n})
 		}
-		worst := make([]float64, len(cfgs))
-		valid := make([]int, len(cfgs))
+		// Pre-draw every trial's seeds in the sequential draw order
+		// (workload first, then one perturbation stream per model), so
+		// the concurrent fan-out consumes the master stream identically.
 		cellSrc := rng.New(src.Uint64())
-		for trial := 0; trial < trials; trial++ {
+		type trialSeeds struct {
+			base   uint64
+			models []uint64
+		}
+		seeds := make([]trialSeeds, trials)
+		for t := range seeds {
+			seeds[t].base = cellSrc.Uint64()
+			seeds[t].models = make([]uint64, len(models))
+			for mi := range models {
+				seeds[t].models[mi] = cellSrc.Uint64()
+			}
+		}
+		type trialOut struct {
+			worst      []float64
+			valid      []int
+			violations []string
+			err        error
+		}
+		outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+			res := trialOut{worst: make([]float64, len(cfgs)), valid: make([]int, len(cfgs))}
 			base := workload.MustNew(workload.Spec{
 				Name: "uniform", N: n, M: cell.m, Alpha: cell.alpha,
-				Seed: cellSrc.Uint64(), Param: 20,
+				Seed: seeds[trial].base, Param: 20,
 			})
-			for _, model := range models {
+			for mi, model := range models {
 				in := base.Clone()
-				model.Perturb(in, nil, rng.New(cellSrc.Uint64()))
+				model.Perturb(in, nil, rng.New(seeds[trial].models[mi]))
 				for ci, cfg := range cfgs {
 					out, err := core.Run(in, cfg)
 					if err != nil {
-						return err
+						res.err = err
+						return res
 					}
 					if !out.Optimum.Exact {
 						continue
 					}
-					valid[ci]++
-					if out.RatioUpper > worst[ci] {
-						worst[ci] = out.RatioUpper
+					res.valid[ci]++
+					if out.RatioUpper > res.worst[ci] {
+						res.worst[ci] = out.RatioUpper
 					}
 					if out.RatioUpper > out.Guarantee+1e-9 {
-						violations++
-						fmt.Fprintf(w, "VIOLATION: m=%d α=%g %s ratio %.6g > bound %.6g (trial %d, %s)\n",
+						res.violations = append(res.violations, fmt.Sprintf(
+							"VIOLATION: m=%d α=%g %s ratio %.6g > bound %.6g (trial %d, %s)\n",
 							cell.m, cell.alpha, out.Algorithm, out.RatioUpper,
-							out.Guarantee, trial, model.Name())
+							out.Guarantee, trial, model.Name()))
 					}
 				}
+			}
+			return res
+		})
+		worst := make([]float64, len(cfgs))
+		valid := make([]int, len(cfgs))
+		for _, res := range outs {
+			if res.err != nil {
+				return res.err
+			}
+			for ci := range cfgs {
+				if res.worst[ci] > worst[ci] {
+					worst[ci] = res.worst[ci]
+				}
+				valid[ci] += res.valid[ci]
+			}
+			violations += len(res.violations)
+			for _, line := range res.violations {
+				fmt.Fprint(w, line)
 			}
 		}
 		for ci, cfg := range cfgs {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/memaware"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -51,32 +52,67 @@ func (e3) Run(w io.Writer, opts Options) error {
 		}
 	}
 
-	for trial := 0; trial < trials; trial++ {
+	// Pre-draw per-trial seeds in sequential order (workload, perturb),
+	// then fan the independent trials out across cores.
+	type trialSeeds struct{ base, perturb uint64 }
+	seeds := make([]trialSeeds, trials)
+	for t := range seeds {
+		seeds[t].base = src.Uint64()
+		seeds[t].perturb = src.Uint64()
+	}
+	type trialOut struct {
+		mem, mk map[string]map[float64]float64
+		err     error
+	}
+	outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+		res := trialOut{
+			mem: map[string]map[float64]float64{},
+			mk:  map[string]map[float64]float64{},
+		}
+		for _, v := range variants {
+			res.mem[v] = map[float64]float64{}
+			res.mk[v] = map[float64]float64{}
+		}
 		in := workload.MustNew(workload.Spec{
-			Name: "spmv", N: n, M: m, Alpha: 2, Seed: src.Uint64(),
+			Name: "spmv", N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 		})
-		uncertainty.Extremes{}.Perturb(in, nil, rng.New(src.Uint64()))
+		uncertainty.Extremes{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
 		optMakespan := opt.Estimate(in.Actuals(), m, 0)
 		optMemory := opt.Estimate(in.Sizes(), m, 0)
 		for _, d := range deltas {
 			cfg := memaware.Config{Delta: d}
 			for _, v := range variants {
-				var res *memaware.Result
+				var r *memaware.Result
 				var err error
 				switch v {
 				case "SABO":
-					res, err = memaware.SABO(in, cfg)
+					r, err = memaware.SABO(in, cfg)
 				case "GABO":
-					res, err = memaware.GABO(in, cfg, gaboK)
+					r, err = memaware.GABO(in, cfg, gaboK)
 				case "ABO":
-					res, err = memaware.ABO(in, cfg)
+					r, err = memaware.ABO(in, cfg)
 				}
 				if err != nil {
-					return err
+					res.err = err
+					return res
 				}
+				res.mem[v][d] = r.MemMax / optMemory.Lower
+				res.mk[v][d] = r.Makespan / optMakespan.Lower
+			}
+		}
+		return res
+	})
+	// Aggregate in trial order: float aggregation order matches the
+	// sequential run, keeping reports byte-identical.
+	for _, res := range outs {
+		if res.err != nil {
+			return res.err
+		}
+		for _, d := range deltas {
+			for _, v := range variants {
 				cell := cells[v][d]
-				cell.mem = append(cell.mem, res.MemMax/optMemory.Lower)
-				cell.mk = append(cell.mk, res.Makespan/optMakespan.Lower)
+				cell.mem = append(cell.mem, res.mem[v][d])
+				cell.mk = append(cell.mk, res.mk[v][d])
 			}
 		}
 	}

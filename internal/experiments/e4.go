@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -46,20 +47,41 @@ func (e4) Run(w io.Writer, opts Options) error {
 
 	out := report.NewTable("workload", "strategy", "mean makespan", "vs no-replication")
 	for _, fam := range families {
+		fam := fam
 		means := make([]float64, len(strategies))
 		for si := range strategies {
-			var samples []float64
+			si := si
+			// Pre-draw the (workload, perturb) seed pairs in sequential
+			// order, then fan the trials out; samples land at their trial
+			// index so the mean sums in the sequential order.
 			trialSrc := rng.New(src.Uint64())
-			for trial := 0; trial < trials; trial++ {
+			type trialSeeds struct{ base, perturb uint64 }
+			seeds := make([]trialSeeds, trials)
+			for t := range seeds {
+				seeds[t].base = trialSrc.Uint64()
+				seeds[t].perturb = trialSrc.Uint64()
+			}
+			type trialOut struct {
+				makespan float64
+				err      error
+			}
+			outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
 				in := workload.MustNew(workload.Spec{
-					Name: fam, N: n, M: m, Alpha: 2, Seed: trialSrc.Uint64(),
+					Name: fam, N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 				})
-				uncertainty.LogNormal{Sigma: 0.4}.Perturb(in, nil, rng.New(trialSrc.Uint64()))
+				uncertainty.LogNormal{Sigma: 0.4}.Perturb(in, nil, rng.New(seeds[trial].perturb))
 				res, err := core.Run(in, strategies[si].cfg)
 				if err != nil {
-					return err
+					return trialOut{err: err}
 				}
-				samples = append(samples, res.Makespan)
+				return trialOut{makespan: res.Makespan}
+			})
+			samples := make([]float64, 0, trials)
+			for _, r := range outs {
+				if r.err != nil {
+					return r.err
+				}
+				samples = append(samples, r.makespan)
 			}
 			means[si] = stats.Summarize(samples).Mean
 		}

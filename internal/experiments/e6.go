@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -57,26 +58,54 @@ func (e6) Run(w io.Writer, opts Options) error {
 	}
 
 	for _, fam := range []string{"zipf", "iterative"} {
+		fam := fam
 		type agg struct {
 			ratios   []float64
 			replicas []float64
 		}
 		cells := make([]agg, len(variants))
 		famSrc := rng.New(src.Uint64())
-		for trial := 0; trial < trials; trial++ {
+		// Pre-drawn (workload, perturb) seeds keep the master stream's
+		// sequential draw order while the trials fan out.
+		type trialSeeds struct{ base, perturb uint64 }
+		seeds := make([]trialSeeds, trials)
+		for t := range seeds {
+			seeds[t].base = famSrc.Uint64()
+			seeds[t].perturb = famSrc.Uint64()
+		}
+		type trialOut struct {
+			ratios   []float64
+			replicas []float64
+			err      error
+		}
+		outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+			res := trialOut{
+				ratios:   make([]float64, len(variants)),
+				replicas: make([]float64, len(variants)),
+			}
 			in := workload.MustNew(workload.Spec{
-				Name: fam, N: n, M: m, Alpha: 2, Seed: famSrc.Uint64(),
+				Name: fam, N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 			})
-			uncertainty.Uniform{}.Perturb(in, nil, rng.New(famSrc.Uint64()))
+			uncertainty.Uniform{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
 			lb := opt.LowerBound(in.Actuals(), m)
 			for vi, v := range variants {
-				res, err := algo.Execute(in, v.algo)
+				r, err := algo.Execute(in, v.algo)
 				if err != nil {
-					return err
+					res.err = err
+					return res
 				}
-				cells[vi].ratios = append(cells[vi].ratios, res.Makespan/lb)
-				cells[vi].replicas = append(cells[vi].replicas,
-					float64(res.Placement.TotalReplicas())/float64(n))
+				res.ratios[vi] = r.Makespan / lb
+				res.replicas[vi] = float64(r.Placement.TotalReplicas()) / float64(n)
+			}
+			return res
+		})
+		for _, res := range outs {
+			if res.err != nil {
+				return res.err
+			}
+			for vi := range variants {
+				cells[vi].ratios = append(cells[vi].ratios, res.ratios[vi])
+				cells[vi].replicas = append(cells[vi].replicas, res.replicas[vi])
 			}
 		}
 		fmt.Fprintf(w, "workload=%s  (m=%d, n=%d, α=2, %d trials)\n", fam, m, n, trials)

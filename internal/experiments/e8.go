@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -49,23 +50,47 @@ func (e8) Run(w io.Writer, opts Options) error {
 	}
 	tb := report.NewTable("true β", "β/α", "LPT-NoChoice", "LS-Group k=2", "LPT-NoRestriction")
 	for _, beta := range betas {
-		sums := make([][]float64, len(algos))
+		beta := beta
 		betaSrc := rng.New(src.Uint64())
-		for trial := 0; trial < trials; trial++ {
+		// Pre-drawn seeds preserve the sequential draw order across the
+		// concurrent trial fan-out.
+		type trialSeeds struct{ base, perturb uint64 }
+		seeds := make([]trialSeeds, trials)
+		for t := range seeds {
+			seeds[t].base = betaSrc.Uint64()
+			seeds[t].perturb = betaSrc.Uint64()
+		}
+		type trialOut struct {
+			ratios []float64
+			err    error
+		}
+		outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+			res := trialOut{ratios: make([]float64, len(algos))}
 			in := workload.MustNew(workload.Spec{
 				// The instance still declares α to the scheduler...
-				Name: "uniform", N: n, M: m, Alpha: declared, Seed: betaSrc.Uint64(),
+				Name: "uniform", N: n, M: m, Alpha: declared, Seed: seeds[trial].base,
 			})
 			// ...but the world perturbs with factor β. Bypass the model
 			// validator on purpose: this experiment injects the violation.
-			perturbBeyond(in, beta, rng.New(betaSrc.Uint64()))
+			perturbBeyond(in, beta, rng.New(seeds[trial].perturb))
 			lb := opt.LowerBound(in.Actuals(), m)
 			for ai, a := range algos {
-				res, err := algo.Execute(in, a)
+				r, err := algo.Execute(in, a)
 				if err != nil {
-					return err
+					res.err = err
+					return res
 				}
-				sums[ai] = append(sums[ai], res.Makespan/lb)
+				res.ratios[ai] = r.Makespan / lb
+			}
+			return res
+		})
+		sums := make([][]float64, len(algos))
+		for _, res := range outs {
+			if res.err != nil {
+				return res.err
+			}
+			for ai := range algos {
+				sums[ai] = append(sums[ai], res.ratios[ai])
 			}
 		}
 		tb.AddRow(beta, beta/declared,

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/opt"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -52,36 +53,54 @@ func (e9) Run(w io.Writer, opts Options) error {
 	}
 	samples := map[key][]float64{}
 	labels := []string{"steal@phi", "no-replication", "ls-group k=2", "everywhere"}
+	replVariants := []struct {
+		label string
+		a     algo.Algorithm
+	}{
+		{"no-replication", algo.LPTNoChoice()},
+		{"ls-group k=2", algo.LSGroup(2)},
+		{"everywhere", algo.LPTNoRestriction()},
+	}
 
-	for trial := 0; trial < trials; trial++ {
+	// Pre-draw the per-trial (workload, perturb) seed pairs in the
+	// sequential draw order, then fan the trials out.
+	type trialSeeds struct{ base, perturb uint64 }
+	seeds := make([]trialSeeds, trials)
+	for t := range seeds {
+		seeds[t].base = src.Uint64()
+		seeds[t].perturb = src.Uint64()
+	}
+	type trialOut struct {
+		repl  []float64 // indexed as replVariants
+		steal []float64 // indexed as phis
+		err   error
+	}
+	outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+		res := trialOut{
+			repl:  make([]float64, len(replVariants)),
+			steal: make([]float64, len(phis)),
+		}
 		in := workload.MustNew(workload.Spec{
-			Name: "uniform", N: n, M: m, Alpha: alpha, Seed: src.Uint64(),
+			Name: "uniform", N: n, M: m, Alpha: alpha, Seed: seeds[trial].base,
 		})
-		uncertainty.Extremes{}.Perturb(in, nil, rng.New(src.Uint64()))
+		uncertainty.Extremes{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
 		lb := opt.LowerBound(in.Actuals(), m)
 
 		// Replication strategies: penalty-independent.
-		for _, c := range []struct {
-			label string
-			a     algo.Algorithm
-		}{
-			{"no-replication", algo.LPTNoChoice()},
-			{"ls-group k=2", algo.LSGroup(2)},
-			{"everywhere", algo.LPTNoRestriction()},
-		} {
-			res, err := algo.Execute(in, c.a)
+		for ci, c := range replVariants {
+			r, err := algo.Execute(in, c.a)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
-			for _, phi := range phis {
-				samples[key{phi, c.label}] = append(samples[key{phi, c.label}], res.Makespan/lb)
-			}
+			res.repl[ci] = r.Makespan / lb
 		}
 
 		// Stealing over the pinned LPT placement, per penalty.
 		pinned, err := algo.LPTNoChoice().Place(in)
 		if err != nil {
-			return err
+			res.err = err
+			return res
 		}
 		order := make([]int, in.N())
 		for i := range order {
@@ -90,20 +109,36 @@ func (e9) Run(w io.Writer, opts Options) error {
 		sort.SliceStable(order, func(a, b int) bool {
 			return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
 		})
-		for _, phi := range phis {
+		for pi, phi := range phis {
 			d, err := sim.NewStealingDispatcher(pinned, order, phi)
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
-			res, err := sim.Run(in, d, sim.Options{Duration: d.DurationOf(in)})
+			r, err := sim.Run(in, d, sim.Options{Duration: d.DurationOf(in)})
 			if err != nil {
-				return err
+				res.err = err
+				return res
 			}
-			if err := res.Schedule.VerifyDurations(in, pinned, d.DurationOf(in)); err != nil {
-				return fmt.Errorf("stealing schedule infeasible: %w", err)
+			if err := r.Schedule.VerifyDurations(in, pinned, d.DurationOf(in)); err != nil {
+				res.err = fmt.Errorf("stealing schedule infeasible: %w", err)
+				return res
 			}
-			samples[key{phi, "steal@phi"}] = append(samples[key{phi, "steal@phi"}],
-				res.Schedule.Makespan()/lb)
+			res.steal[pi] = r.Schedule.Makespan() / lb
+		}
+		return res
+	})
+	for _, res := range outs {
+		if res.err != nil {
+			return res.err
+		}
+		for ci, c := range replVariants {
+			for _, phi := range phis {
+				samples[key{phi, c.label}] = append(samples[key{phi, c.label}], res.repl[ci])
+			}
+		}
+		for pi, phi := range phis {
+			samples[key{phi, "steal@phi"}] = append(samples[key{phi, "steal@phi"}], res.steal[pi])
 		}
 	}
 

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestParallelMatchesSequentialPerExperiment is the differential test
+// for the parallel harness: for every experiment, the report rendered
+// with the full worker fan-out must be byte-identical to the fully
+// sequential (Workers=1) run under the same options. e5 is excluded —
+// it prints wall-clock times by design.
+func TestParallelMatchesSequentialPerExperiment(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "e5" {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seq, par bytes.Buffer
+			if err := e.Run(&seq, Options{Quick: true, Seed: 5, Workers: 1}); err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			if err := e.Run(&par, Options{Quick: true, Seed: 5, Workers: 0}); err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+				t.Fatalf("parallel output diverged from sequential (%d vs %d bytes)\n"+
+					"--- sequential ---\n%s\n--- parallel ---\n%s",
+					seq.Len(), par.Len(), seq.String(), par.String())
+			}
+		})
+	}
+}
+
+// TestRunAllParallelMatchesSequentialStitching checks RunAll's
+// concurrent render-and-stitch against a hand-rolled sequential loop
+// using the same banner format. Only the deterministic experiments are
+// compared section-by-section; the stitched order must be ID order.
+func TestRunAllParallelMatchesSequentialStitching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow; run without -short")
+	}
+	opts := Options{Quick: true, Seed: 9}
+	var parallel bytes.Buffer
+	if err := RunAll(&parallel, opts); err != nil {
+		t.Fatal(err)
+	}
+	var sequential bytes.Buffer
+	for _, e := range All() {
+		fmt.Fprintf(&sequential, "==================================================================\n")
+		fmt.Fprintf(&sequential, "%s — %s\n", e.ID(), e.Title())
+		fmt.Fprintf(&sequential, "==================================================================\n")
+		if err := e.Run(&sequential, Options{Quick: true, Seed: 9, Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintln(&sequential)
+	}
+	// e5 prints wall-clock times, so compare everything before its
+	// section and everything from the next section (e6) on.
+	pPre, pPost := cutAroundE5(t, parallel.String())
+	sPre, sPost := cutAroundE5(t, sequential.String())
+	if pPre != sPre {
+		t.Error("RunAll output before the e5 section differs from sequential")
+	}
+	if pPost != sPost {
+		t.Error("RunAll output after the e5 section differs from sequential")
+	}
+}
+
+// cutAroundE5 splits a RunAll report into the part before the e5
+// banner and the part starting at the e6 banner.
+func cutAroundE5(t *testing.T, s string) (before, after string) {
+	t.Helper()
+	const banner = "==================================================================\n"
+	e5 := banner + "e5 — "
+	e6 := banner + "e6 — "
+	i := bytes.Index([]byte(s), []byte(e5))
+	j := bytes.Index([]byte(s), []byte(e6))
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("report missing e5/e6 banners (i=%d, j=%d)", i, j)
+	}
+	return s[:i], s[j:]
+}

@@ -1,0 +1,179 @@
+// Package obs is a lightweight observability layer for the simulator
+// and the experiment harness: named atomic counters and wall-clock
+// timers that hot paths can bump cheaply, plus a process-wide registry
+// that renders a snapshot table on demand.
+//
+// Metrics never influence results — they are write-only from the
+// algorithms' point of view — so instrumented code stays bit-identical
+// in its observable output. Reports go to stderr (via the -stats flag
+// of cmd/paperfigs and cmd/sweep) precisely so stdout artifacts remain
+// byte-comparable against golden files.
+//
+// Counters and timers are safe for concurrent use. Lookup by name is
+// idempotent: Counter("sim.events") returns the same *Counter from
+// every goroutine, so packages can grab their metrics at init time or
+// lazily in-line without coordination.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Timer accumulates wall-clock durations (total nanoseconds and
+// observation count).
+type Timer struct {
+	name  string
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.ns.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Start begins a measurement; calling the returned func records the
+// elapsed time. Typical use:
+//
+//	defer obs.GetTimer("experiment.e1").Start()()
+func (t *Timer) Start() func() {
+	begin := time.Now()
+	return func() { t.Observe(time.Since(begin)) }
+}
+
+// Total returns the accumulated duration.
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Count returns the number of observations.
+func (t *Timer) Count() int64 { return t.count.Load() }
+
+// Name returns the registered name.
+func (t *Timer) Name() string { return t.name }
+
+// registry is the process-wide metric table.
+var registry = struct {
+	sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}{
+	counters: map[string]*Counter{},
+	timers:   map[string]*Timer{},
+}
+
+// GetCounter returns the counter registered under name, creating it on
+// first use.
+func GetCounter(name string) *Counter {
+	registry.Lock()
+	defer registry.Unlock()
+	c, ok := registry.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		registry.counters[name] = c
+	}
+	return c
+}
+
+// GetTimer returns the timer registered under name, creating it on
+// first use.
+func GetTimer(name string) *Timer {
+	registry.Lock()
+	defer registry.Unlock()
+	t, ok := registry.timers[name]
+	if !ok {
+		t = &Timer{name: name}
+		registry.timers[name] = t
+	}
+	return t
+}
+
+// Stat is one row of a metrics snapshot.
+type Stat struct {
+	// Name is the metric name.
+	Name string
+	// Value is the counter value, or the observation count for timers.
+	Value int64
+	// Elapsed is the accumulated duration (timers only).
+	Elapsed time.Duration
+	// IsTimer distinguishes the two metric kinds.
+	IsTimer bool
+}
+
+// Snapshot returns all registered metrics sorted by name.
+func Snapshot() []Stat {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Stat, 0, len(registry.counters)+len(registry.timers))
+	for _, c := range registry.counters {
+		out = append(out, Stat{Name: c.name, Value: c.Load()})
+	}
+	for _, t := range registry.timers {
+		out = append(out, Stat{Name: t.name, Value: t.Count(), Elapsed: t.Total(), IsTimer: true})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Write renders the snapshot as an aligned two-column table. Zero
+// metrics are included: a zero that should not be zero is exactly what
+// the table is for.
+func Write(w io.Writer) error {
+	stats := Snapshot()
+	width := 0
+	for _, s := range stats {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range stats {
+		var err error
+		if s.IsTimer {
+			_, err = fmt.Fprintf(w, "%-*s %12d  %v\n", width, s.Name, s.Value,
+				s.Elapsed.Round(time.Microsecond))
+		} else {
+			_, err = fmt.Fprintf(w, "%-*s %12d\n", width, s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset zeroes every registered metric (the metrics stay registered,
+// and pointers held by instrumented code remain valid). Tests use it
+// to assert deltas.
+func Reset() {
+	registry.Lock()
+	defer registry.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, t := range registry.timers {
+		t.ns.Store(0)
+		t.count.Store(0)
+	}
+}

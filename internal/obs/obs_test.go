@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterIdempotentLookup(t *testing.T) {
+	a := GetCounter("test.lookup")
+	b := GetCounter("test.lookup")
+	if a != b {
+		t.Fatal("GetCounter returned distinct instances for one name")
+	}
+}
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	c := GetCounter("test.concurrent")
+	c.v.Store(0)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestTimerObserve(t *testing.T) {
+	tm := GetTimer("test.timer")
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(3 * time.Millisecond)
+	if tm.Count() < 2 {
+		t.Fatalf("timer count = %d, want >= 2", tm.Count())
+	}
+	if tm.Total() < 5*time.Millisecond {
+		t.Fatalf("timer total = %v, want >= 5ms", tm.Total())
+	}
+	done := tm.Start()
+	done()
+	if tm.Count() < 3 {
+		t.Fatalf("Start/stop did not record")
+	}
+}
+
+func TestSnapshotSortedAndWrite(t *testing.T) {
+	GetCounter("test.zzz").Inc()
+	GetCounter("test.aaa").Inc()
+	stats := Snapshot()
+	for i := 1; i < len(stats); i++ {
+		if stats[i-1].Name > stats[i].Name {
+			t.Fatalf("snapshot not sorted: %q after %q", stats[i].Name, stats[i-1].Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test.aaa") || !strings.Contains(buf.String(), "test.zzz") {
+		t.Fatalf("Write output missing metrics:\n%s", buf.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := GetCounter("test.reset")
+	c.Add(7)
+	tm := GetTimer("test.reset.timer")
+	tm.Observe(time.Second)
+	Reset()
+	if c.Load() != 0 {
+		t.Fatalf("counter survived Reset: %d", c.Load())
+	}
+	if tm.Count() != 0 || tm.Total() != 0 {
+		t.Fatalf("timer survived Reset: %d/%v", tm.Count(), tm.Total())
+	}
+	// The pointer stays registered after Reset.
+	if GetCounter("test.reset") != c {
+		t.Fatal("Reset dropped the registration")
+	}
+}

@@ -1,0 +1,133 @@
+package opt
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// The experiment suite solves the same offline-optimum problems over
+// and over: every strategy scored on one instance calls Estimate with
+// identical (times, m, exactLimit), and sweeps revisit instances
+// across perturbation models. Estimate results are pure functions of
+// their inputs, so they memoize safely; the exact branch-and-bound and
+// MULTIFIT solves they guard are the expensive part of E2/E3-style
+// validation runs.
+//
+// The cache is keyed by a content hash of the processing-time
+// multiset-in-order plus (m, exactLimit); hash buckets store the full
+// key (a private copy of times) and compare element-wise, so hash
+// collisions can never return a wrong bracket. It is bounded: when it
+// reaches cacheMaxEntries the table is dropped wholesale — the access
+// pattern is bursts of repeats within an experiment, for which a
+// periodic full flush loses little.
+
+// cacheMaxEntries bounds the memo table's size.
+const cacheMaxEntries = 4096
+
+type cacheKey struct {
+	hash       uint64
+	n          int
+	m          int
+	exactLimit int
+}
+
+type cacheEntry struct {
+	times []float64 // private copy: full-key collision guard
+	res   Result
+}
+
+var cache = struct {
+	sync.RWMutex
+	entries map[cacheKey][]cacheEntry
+	size    int
+}{entries: map[cacheKey][]cacheEntry{}}
+
+var (
+	cacheHits   = obs.GetCounter("opt.cache_hits")
+	cacheMisses = obs.GetCounter("opt.cache_misses")
+)
+
+// hashTimes is FNV-1a over the IEEE-754 bit patterns of times.
+func hashTimes(times []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range times {
+		bits := math.Float64bits(p)
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (bits >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func timesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// Bit equality, not numeric: NaN inputs must hit their own entry
+		// rather than never match and grow the bucket unboundedly.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheLookup returns a memoized Estimate result if present.
+func cacheLookup(key cacheKey, times []float64) (Result, bool) {
+	cache.RLock()
+	bucket := cache.entries[key]
+	for _, e := range bucket {
+		if timesEqual(e.times, times) {
+			cache.RUnlock()
+			cacheHits.Inc()
+			return e.res, true
+		}
+	}
+	cache.RUnlock()
+	cacheMisses.Inc()
+	return Result{}, false
+}
+
+// cacheStore memoizes an Estimate result. Concurrent first-misses of
+// the same key may both store; the duplicate check keeps the bucket
+// from accumulating identical entries.
+func cacheStore(key cacheKey, times []float64, res Result) {
+	cp := make([]float64, len(times))
+	copy(cp, times)
+	cache.Lock()
+	defer cache.Unlock()
+	if cache.size >= cacheMaxEntries {
+		cache.entries = map[cacheKey][]cacheEntry{}
+		cache.size = 0
+	}
+	for _, e := range cache.entries[key] {
+		if timesEqual(e.times, times) {
+			return // lost a store race; entry already present
+		}
+	}
+	cache.entries[key] = append(cache.entries[key], cacheEntry{times: cp, res: res})
+	cache.size++
+}
+
+// CacheStats reports the memo cache's lifetime hit and miss counts.
+func CacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// ResetCache empties the memo cache and zeroes its counters (tests).
+func ResetCache() {
+	cache.Lock()
+	cache.entries = map[cacheKey][]cacheEntry{}
+	cache.size = 0
+	cache.Unlock()
+	cacheHits.Add(-cacheHits.Load())
+	cacheMisses.Add(-cacheMisses.Load())
+}

@@ -1,0 +1,109 @@
+package opt
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomTimes(n int, seed uint64) []float64 {
+	src := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 + 9*src.Float64()
+	}
+	return out
+}
+
+func TestEstimateCacheHitsAndIdenticalResults(t *testing.T) {
+	ResetCache()
+	times := randomTimes(40, 7)
+	first := Estimate(times, 4, 0)
+	hits0, misses0 := CacheStats()
+	if hits0 != 0 || misses0 != 1 {
+		t.Fatalf("after first call: hits=%d misses=%d, want 0/1", hits0, misses0)
+	}
+	second := Estimate(times, 4, 0)
+	hits1, _ := CacheStats()
+	if hits1 != 1 {
+		t.Fatalf("second identical call did not hit the cache (hits=%d)", hits1)
+	}
+	if first != second {
+		t.Fatalf("cached result %+v differs from computed %+v", second, first)
+	}
+	// A copy with equal contents must hit too: keying is by content.
+	cp := append([]float64(nil), times...)
+	if got := Estimate(cp, 4, 0); got != first {
+		t.Fatalf("content-equal copy missed or diverged: %+v vs %+v", got, first)
+	}
+}
+
+func TestEstimateCacheKeysDistinguishMAndLimit(t *testing.T) {
+	ResetCache()
+	times := randomTimes(30, 3)
+	a := Estimate(times, 3, 0)
+	b := Estimate(times, 5, 0)
+	if a == b {
+		t.Fatal("different m produced identical brackets — suspicious key conflation")
+	}
+	// Same times, same m, different exactLimit: must not serve the
+	// heuristic bracket when an exact solve is requested.
+	big := randomTimes(30, 4)
+	loose := Estimate(big, 4, 1) // exactLimit=1 → heuristic bounds
+	tight := Estimate(big, 4, 30)
+	if tight.Lower < loose.Lower-1e-12 || tight.Upper > loose.Upper+1e-12 {
+		t.Fatalf("exact bracket [%g,%g] not within heuristic [%g,%g]",
+			tight.Lower, tight.Upper, loose.Lower, loose.Upper)
+	}
+}
+
+func TestEstimateCacheTrivialNotCached(t *testing.T) {
+	ResetCache()
+	Estimate(nil, 4, 0)
+	Estimate([]float64{1, 2}, 4, 0) // n <= m
+	Estimate([]float64{1, 2}, 1, 0) // m == 1
+	hits, misses := CacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("trivial paths touched the cache: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEstimateCacheConcurrent(t *testing.T) {
+	ResetCache()
+	times := randomTimes(60, 11)
+	want := Estimate(times, 6, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := Estimate(times, 6, 0); got != want {
+					t.Errorf("concurrent Estimate diverged: %+v vs %+v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, _ := CacheStats()
+	if hits == 0 {
+		t.Fatal("no cache hits under concurrent identical calls")
+	}
+}
+
+func TestHashTimesSensitivity(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 3.0000001}
+	c := []float64{3, 2, 1} // order matters: the multiset is in-order
+	if hashTimes(a) == hashTimes(b) {
+		t.Fatal("hash ignores value change")
+	}
+	if hashTimes(a) == hashTimes(c) {
+		t.Fatal("hash ignores order")
+	}
+	if hashTimes(a) != hashTimes(append([]float64(nil), a...)) {
+		t.Fatal("hash not content-deterministic")
+	}
+}

@@ -18,6 +18,17 @@ package opt
 import (
 	"math"
 	"sort"
+
+	"repro/internal/obs"
+)
+
+// Solver invocation metrics (see internal/obs). Estimate results are
+// additionally memoized — see cache.go — because experiment sweeps
+// re-score identical instances many times.
+var (
+	estimateCalls = obs.GetCounter("opt.estimate_calls")
+	exactSolves   = obs.GetCounter("opt.exact_solves")
+	multifitRuns  = obs.GetCounter("opt.multifit_runs")
 )
 
 // SumLowerBound returns Σp / m.
@@ -143,6 +154,7 @@ func ffdFits(desc []float64, m int, capacity float64) bool {
 // and returns a makespan achievable by FFD packing, which is an upper
 // bound on C* within a factor 13/11.
 func MultiFit(times []float64, m int, iterations int) float64 {
+	multifitRuns.Inc()
 	if iterations <= 0 {
 		iterations = 20
 	}
@@ -187,7 +199,14 @@ func (r Result) Value() float64 { return (r.Lower + r.Upper) / 2 }
 // quick trivial checks) are solved exactly by branch-and-bound;
 // larger ones get [LowerBound, min(MultiFit, LPT)]. exactLimit ≤ 0
 // selects the default of 20.
+//
+// Results for non-trivial instances are memoized in a concurrency-safe
+// content-addressed cache (Estimate is a pure function of its inputs),
+// so repeated scoring of one instance — e.g. several strategies
+// compared on the same perturbed workload — pays for the solve once.
+// CacheStats exposes the hit/miss counters.
 func Estimate(times []float64, m int, exactLimit int) Result {
+	estimateCalls.Inc()
 	if exactLimit <= 0 {
 		exactLimit = 20
 	}
@@ -206,6 +225,19 @@ func Estimate(times []float64, m int, exactLimit int) Result {
 		v := MaxLowerBound(times)
 		return Result{Lower: v, Upper: v, Exact: true, Method: "trivial"}
 	}
+	// Only the non-trivial path is worth memoizing.
+	key := cacheKey{hash: hashTimes(times), n: n, m: m, exactLimit: exactLimit}
+	if res, ok := cacheLookup(key, times); ok {
+		return res
+	}
+	res := estimateUncached(times, m, exactLimit)
+	cacheStore(key, times, res)
+	return res
+}
+
+// estimateUncached is the actual solve behind Estimate's memo cache.
+func estimateUncached(times []float64, m int, exactLimit int) Result {
+	n := len(times)
 	lb := LowerBound(times, m)
 	ub, _ := LPT(times, m)
 	if mf := MultiFit(times, m, 24); mf < ub {
@@ -241,6 +273,7 @@ func nearlyEqual(a, b float64) bool {
 // It explores at most maxNodes search nodes and reports ok=false when
 // the budget is exhausted before the search space is closed.
 func Exact(times []float64, m int, maxNodes int) (float64, bool) {
+	exactSolves.Inc()
 	n := len(times)
 	if n == 0 {
 		return 0, true

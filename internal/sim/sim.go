@@ -9,14 +9,47 @@
 // by (time, machine index) — so "the first machine that becomes
 // available" is deterministic, with ties broken toward lower machine
 // indices, matching the usual List Scheduling convention.
+//
+// # Information model under duration overrides
+//
+// Options.Duration decouples what a machine spends executing a task
+// from what the task's processing time is: the remote-execution model
+// charges a fetch-penalized executed duration while the task's true
+// processing time p_j stays what it was. The two quantities feed
+// different consumers and must not be conflated:
+//
+//   - the executed duration (the hook's value) drives the simulation
+//     clock and the recorded Assignment — it is what the machine was
+//     busy for;
+//   - Dispatcher.Completed receives the task's *true* actual time
+//     p_j = in.Tasks[j].Actual, because completion is the moment the
+//     semi-clairvoyant model reveals p_j, and a dispatcher learning a
+//     penalty-inflated value instead would be reasoning under a
+//     corrupted information model (the guarantees are proved for
+//     dispatchers that observe p_j, nothing else). The completion
+//     *time* already reflects the penalty through the event clock.
+//
+// Schedules executed under a non-nil Duration verify against the same
+// hook via Schedule.VerifyDurations; plain Verify expects raw actual
+// times and would reject penalized assignments.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/task"
+)
+
+// Hot-loop metrics, accumulated locally per Run and flushed once so
+// the per-event cost is a plain increment (see internal/obs).
+var (
+	simEventsPopped  = obs.GetCounter("sim.events_popped")
+	simDispatchCalls = obs.GetCounter("sim.dispatch_calls")
+	simRuns          = obs.GetCounter("sim.runs")
 )
 
 // Dispatcher selects work for idle machines. Implementations must be
@@ -87,6 +120,13 @@ type Options struct {
 	// task on a machine. The default is the task's actual processing
 	// time; the remote-execution model uses this hook to charge a data
 	// fetch penalty on machines outside the task's replica set.
+	//
+	// Contract: the hook's value determines how long the machine is
+	// busy (clock advance and the recorded Assignment); it does NOT
+	// change the task's processing time — Dispatcher.Completed is
+	// always told the true in.Tasks[j].Actual. The hook must be
+	// deterministic and non-negative, and is called exactly once per
+	// started task.
 	Duration func(taskID, machine int) float64
 }
 
@@ -105,9 +145,12 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 	}
 	heap.Init(&q)
 
+	popped, dispatched := 0, 0
 	for q.Len() > 0 {
 		ev := heap.Pop(&q).(idleEvent)
+		popped++
 		j, ok := d.Next(ev.machine, ev.time)
+		dispatched++
 		if !ok {
 			continue // machine retires
 		}
@@ -119,11 +162,17 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 		}
 		started[j] = true
 		startedCount++
+		// executed is what the machine is busy for; actual is the task's
+		// true processing time p_j. They differ only under a Duration
+		// override (e.g. a remote-fetch penalty), and only executed may
+		// drive the clock — while only actual may be revealed to the
+		// semi-clairvoyant dispatcher below.
 		actual := in.Tasks[j].Actual
+		executed := actual
 		if opts.Duration != nil {
-			actual = opts.Duration(j, ev.machine)
+			executed = opts.Duration(j, ev.machine)
 		}
-		end := ev.time + actual
+		end := ev.time + executed
 		result.Schedule.Assignments[j] = sched.Assignment{
 			Task: j, Machine: ev.machine, Start: ev.time, End: end,
 		}
@@ -136,6 +185,9 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 		d.Completed(j, ev.machine, end, actual)
 		heap.Push(&q, idleEvent{time: end, machine: ev.machine})
 	}
+	simEventsPopped.Add(int64(popped))
+	simDispatchCalls.Add(int64(dispatched))
+	simRuns.Inc()
 
 	if startedCount != n {
 		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-startedCount, n)
@@ -148,15 +200,15 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 
 // sortTrace orders events by time, finishes before starts at equal
 // times (a machine finishes a task before grabbing the next), then by
-// machine.
+// machine. Events are appended in simulation order, so traces are
+// near-sorted on the time key — but "near-sorted" is not a license for
+// insertion sort: a trace with many equal-time finishes (unit tasks on
+// many machines) puts every finish O(n) positions away from its slot
+// and degrades insertion sort to O(n²). SliceStable is O(n log² n)
+// worst-case and equally deterministic (ties keep append order, which
+// the comparator fully resolves anyway).
 func sortTrace(tr []Event) {
-	// Insertion sort: traces are near-sorted already because events are
-	// appended in simulation order.
-	for i := 1; i < len(tr); i++ {
-		for j := i; j > 0 && traceLess(tr[j], tr[j-1]); j-- {
-			tr[j], tr[j-1] = tr[j-1], tr[j]
-		}
-	}
+	sort.SliceStable(tr, func(a, b int) bool { return traceLess(tr[a], tr[b]) })
 }
 
 func traceLess(a, b Event) bool {

@@ -66,6 +66,11 @@ func Quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		panic("stats: Quantile of empty sample")
 	}
+	// NaN fails every ordered comparison, so the range check below
+	// would silently accept it and index with garbage; reject it first.
+	if math.IsNaN(q) {
+		panic("stats: quantile is NaN")
+	}
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}

@@ -47,19 +47,42 @@ func TestQuantileInterpolation(t *testing.T) {
 }
 
 func TestQuantilePanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { Quantile(nil, 0.5) },
-		func() { Quantile([]float64{1}, -0.1) },
-		func() { Quantile([]float64{1}, 1.1) },
-	} {
-		func() {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+	}{
+		{"empty sample", nil, 0.5},
+		{"negative q", []float64{1}, -0.1},
+		{"q above one", []float64{1}, 1.1},
+		{"NaN q", []float64{1, 2}, math.NaN()},
+		{"negative zero minus eps", []float64{1, 2}, math.Nextafter(0, -1)},
+		{"one plus eps", []float64{1, 2}, math.Nextafter(1, 2)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
 			defer func() {
 				if recover() == nil {
-					t.Error("expected panic")
+					t.Errorf("Quantile(%v, %v): expected panic", tc.sorted, tc.q)
 				}
 			}()
-			f()
-		}()
+			Quantile(tc.sorted, tc.q)
+		})
+	}
+}
+
+func TestQuantileBoundaryValuesAccepted(t *testing.T) {
+	// The extreme legal quantiles must not panic and must hit the ends.
+	sorted := []float64{2, 4, 8}
+	if got := Quantile(sorted, 0); got != 2 {
+		t.Fatalf("q=0: %v, want 2", got)
+	}
+	if got := Quantile(sorted, 1); got != 8 {
+		t.Fatalf("q=1: %v, want 8", got)
+	}
+	if got := Quantile(sorted, math.Copysign(0, -1)); got != 2 {
+		t.Fatalf("q=-0: %v, want 2", got)
 	}
 }
 
