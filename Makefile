@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check cover bench figs fuzz clean
+.PHONY: all build test race check cover bench figs fuzz stress clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/
+	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/ ./internal/serve/ ./cmd/schedd/
 
 # Full gate: what CI runs. Vet, build, and the whole test suite under
 # the race detector.
@@ -38,6 +38,13 @@ figs:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/workload/
 	$(GO) test -fuzz=FuzzInstanceJSON -fuzztime=30s ./internal/task/
+	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime=30s ./internal/serve/
+	$(GO) test -fuzz=FuzzExecute -fuzztime=30s ./internal/algo/
+
+# The serving layer's concurrency tests under the race detector:
+# loopback traffic storm, saturation, graceful shutdown.
+stress:
+	$(GO) test -race -run Stress -count=1 -v ./internal/serve/
 
 clean:
 	rm -rf out/

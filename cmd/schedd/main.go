@@ -1,0 +1,118 @@
+// Command schedd is the scheduling daemon: a long-running HTTP/JSON
+// service exposing the paper's two-phase algorithms, the
+// semi-clairvoyant simulator, and the optimum/bound engines (see
+// internal/serve and SERVING.md for the endpoint reference).
+//
+// Examples:
+//
+//	schedd -addr :8080
+//	schedd -addr 127.0.0.1:0 -max-inflight 8 -timeout 10s
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/algorithms
+//	curl -s -X POST localhost:8080/v1/schedule -d '{
+//	  "algorithm": "lpt-norestriction",
+//	  "instance": {"m": 4, "alpha": 1.5, "estimates": [5,3,8,2,7,4]}
+//	}'
+//
+// The daemon drains in-flight requests on SIGINT/SIGTERM (bounded by
+// -drain) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInflight = flag.Int("max-inflight", 0, "solver-endpoint concurrency before 429 (0 = 2*GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker pool per /v1/batch request (0 = GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		maxBody     = flag.Int64("max-body", 8<<20, "request body size cap in bytes")
+		maxTasks    = flag.Int("max-tasks", 100000, "per-instance task cap")
+		maxMachines = flag.Int("max-machines", 10000, "per-instance machine cap")
+		maxBatch    = flag.Int("max-batch", 256, "items per /v1/batch request")
+		exactLimit  = flag.Int("exact-limit", 0, "exact-optimum task cap (0 = default 20)")
+		statsFlag   = flag.Bool("stats", false, "print internal counters and timers to stderr on exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxInflight:    *maxInflight,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxTasks:       *maxTasks,
+		MaxMachines:    *maxMachines,
+		MaxBatch:       *maxBatch,
+		ExactLimit:     *exactLimit,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *addr, cfg, *drain, nil)
+	if *statsFlag {
+		fmt.Fprintln(os.Stderr, "--- schedd internal stats ---")
+		if werr := obs.Write(os.Stderr); werr != nil {
+			fmt.Fprintln(os.Stderr, "schedd: stats:", werr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains in-flight requests
+// for at most drain. When ready is non-nil the bound address is sent
+// on it once the listener is up (tests listen on port 0).
+func run(ctx context.Context, addr string, cfg serve.Config, drain time.Duration, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Header reads are bounded independently of the solver
+		// deadline so idle connections cannot pin goroutines.
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

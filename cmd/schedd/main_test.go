@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestRunServesAndShutsDown boots the daemon on a loopback port,
+// exercises one request per endpoint family, and checks that context
+// cancellation drains cleanly.
+func TestRunServesAndShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", serve.Config{}, 5*time.Second, ready)
+	}()
+
+	var base string
+	select {
+	case a := <-ready:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" {
+		t.Fatalf("healthz status %q", health.Status)
+	}
+
+	body := `{"algorithm":"lpt-norestriction","instance":{"m":3,"alpha":1.5,"estimates":[4,2,6,1,5]}}`
+	resp, err = http.Post(base+"/v1/schedule", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	var sched struct {
+		Makespan float64 `json:"makespan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sched); err != nil {
+		t.Fatalf("schedule decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || sched.Makespan <= 0 {
+		t.Fatalf("schedule: status %d makespan %v", resp.StatusCode, sched.Makespan)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestRunRejectsBadAddr ensures listener errors surface instead of
+// hanging the daemon.
+func TestRunRejectsBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.256.256.256:99999", serve.Config{}, time.Second, nil)
+	if err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+// TestRunDrainsInflight starts a request, cancels the server context
+// mid-flight, and checks the response still completes (Shutdown
+// drains rather than aborts).
+func TestRunDrainsInflight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", serve.Config{}, 10*time.Second, ready)
+	}()
+	addr := <-ready
+	base := "http://" + addr.String()
+
+	// A batch big enough to still be in flight when shutdown starts.
+	var items []string
+	for i := 0; i < 64; i++ {
+		items = append(items,
+			fmt.Sprintf(`{"algorithm":"ls-group:2","instance":{"m":4,"alpha":2,"estimates":[%d,3,9,1,7,5,2,8]}}`, i+1))
+	}
+	body := `{"requests":[` + strings.Join(items, ",") + `]}`
+
+	respCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+		if err == nil {
+			if resp.StatusCode != 200 {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+		respCh <- err
+	}()
+
+	// Give the request a moment to reach the handler, then shut down.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	if err := <-respCh; err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/task"
 	"repro/internal/uncertainty"
 	"repro/internal/workload"
 )
@@ -108,8 +109,9 @@ func parseAlphas(s string) ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad alpha %q: %w", part, err)
 		}
-		if v < 1 {
-			return nil, fmt.Errorf("alpha %v below 1", v)
+		// Centralized parameter check (same error every entry point uses).
+		if err := task.CheckAlpha(v); err != nil {
+			return nil, err
 		}
 		out = append(out, v)
 	}
@@ -193,6 +195,11 @@ func run(mode string, m, n int, alphaList string, alpha2, rho float64,
 						return trialOut{err: err}
 					}
 					uncertainty.Uniform{}.Perturb(in, nil, rng.New(seeds[t].perturb))
+					// Centralized instance validation between perturbation
+					// and the solvers, mirroring the serving layer.
+					if err := in.Validate(true); err != nil {
+						return trialOut{err: err}
+					}
 					out, err := core.Run(in, c.cfg)
 					if err != nil {
 						return trialOut{err: err}

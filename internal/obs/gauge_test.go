@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeUpDown(t *testing.T) {
+	g := GetGauge("test.gauge.updown")
+	g.Set(0)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	g.Add(-3)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	if GetGauge("test.gauge.updown") != g {
+		t.Fatal("GetGauge not idempotent")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	g := GetGauge("test.gauge.concurrent")
+	g.Set(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Fatalf("balanced inc/dec left gauge at %d", got)
+	}
+}
+
+func TestSnapshotIncludesGauges(t *testing.T) {
+	GetGauge("test.gauge.snapshot").Set(7)
+	for _, s := range Snapshot() {
+		if s.Name == "test.gauge.snapshot" {
+			if !s.IsGauge || s.IsTimer || s.Value != 7 {
+				t.Fatalf("snapshot row = %+v", s)
+			}
+			return
+		}
+	}
+	t.Fatal("gauge missing from snapshot")
+}
+
+func TestHandlerRendersSnapshot(t *testing.T) {
+	GetCounter("test.handler.counter").Add(2)
+	GetGauge("test.handler.gauge").Set(4)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"test.handler.counter", "test.handler.gauge"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}

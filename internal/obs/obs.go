@@ -1,7 +1,8 @@
-// Package obs is a lightweight observability layer for the simulator
-// and the experiment harness: named atomic counters and wall-clock
-// timers that hot paths can bump cheaply, plus a process-wide registry
-// that renders a snapshot table on demand.
+// Package obs is a lightweight observability layer for the simulator,
+// the experiment harness, and the serving daemon: named atomic
+// counters, gauges, and wall-clock timers that hot paths can bump
+// cheaply, plus a process-wide registry that renders a snapshot table
+// on demand (also over HTTP via Handler, for /metrics endpoints).
 //
 // Metrics never influence results — they are write-only from the
 // algorithms' point of view — so instrumented code stays bit-identical
@@ -18,6 +19,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,6 +43,32 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Name returns the registered name.
 func (c *Counter) Name() string { return c.name }
+
+// Gauge is an instantaneous level that can move in both directions —
+// in-flight requests, queue depth, open connections. Unlike Counter it
+// is not monotone.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add moves the gauge by d (negative d moves it down).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
 
 // Timer accumulates wall-clock durations (total nanoseconds and
 // observation count).
@@ -78,9 +106,11 @@ func (t *Timer) Name() string { return t.name }
 var registry = struct {
 	sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 }{
 	counters: map[string]*Counter{},
+	gauges:   map[string]*Gauge{},
 	timers:   map[string]*Timer{},
 }
 
@@ -95,6 +125,19 @@ func GetCounter(name string) *Counter {
 		registry.counters[name] = c
 	}
 	return c
+}
+
+// GetGauge returns the gauge registered under name, creating it on
+// first use.
+func GetGauge(name string) *Gauge {
+	registry.Lock()
+	defer registry.Unlock()
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		registry.gauges[name] = g
+	}
+	return g
 }
 
 // GetTimer returns the timer registered under name, creating it on
@@ -118,17 +161,22 @@ type Stat struct {
 	Value int64
 	// Elapsed is the accumulated duration (timers only).
 	Elapsed time.Duration
-	// IsTimer distinguishes the two metric kinds.
+	// IsTimer marks timer rows.
 	IsTimer bool
+	// IsGauge marks gauge rows (instantaneous, non-monotone values).
+	IsGauge bool
 }
 
 // Snapshot returns all registered metrics sorted by name.
 func Snapshot() []Stat {
 	registry.Lock()
 	defer registry.Unlock()
-	out := make([]Stat, 0, len(registry.counters)+len(registry.timers))
+	out := make([]Stat, 0, len(registry.counters)+len(registry.gauges)+len(registry.timers))
 	for _, c := range registry.counters {
 		out = append(out, Stat{Name: c.name, Value: c.Load()})
+	}
+	for _, g := range registry.gauges {
+		out = append(out, Stat{Name: g.name, Value: g.Load(), IsGauge: true})
 	}
 	for _, t := range registry.timers {
 		out = append(out, Stat{Name: t.name, Value: t.Count(), Elapsed: t.Total(), IsTimer: true})
@@ -172,8 +220,22 @@ func Reset() {
 	for _, c := range registry.counters {
 		c.v.Store(0)
 	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
 	for _, t := range registry.timers {
 		t.ns.Store(0)
 		t.count.Store(0)
 	}
+}
+
+// Handler returns an http.Handler that renders the current metrics
+// snapshot as the plain-text table of Write. It backs the /metrics
+// endpoint of cmd/schedd; scraping it is side-effect free.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Errors past this point are client disconnects; nothing to do.
+		_ = Write(w)
+	})
 }

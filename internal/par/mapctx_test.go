@@ -1,0 +1,97 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+type ctxItem struct {
+	ran bool
+	val int
+}
+
+func TestMapCtxCompletes(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out, err := MapCtx(context.Background(), 20, workers, func(i int) ctxItem {
+			return ctxItem{ran: true, val: i * i}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, it := range out {
+			if !it.ran || it.val != i*i {
+				t.Fatalf("workers=%d: out[%d] = %+v", workers, i, it)
+			}
+		}
+	}
+}
+
+func TestMapCtxStopsFeedingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	// The very first item cancels the context; the feeder's select then
+	// sees Done while ~98 indices remain. A handful of extra items may
+	// still slip through the racing select, but feeding all of them has
+	// probability 2^-98 — the assertions below are on the aggregate.
+	out, err := MapCtx(ctx, 100, 2, func(i int) ctxItem {
+		ran.Add(1)
+		cancel()
+		return ctxItem{ran: true}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Fatalf("cancellation did not stop the feeder: %d items ran", got)
+	}
+	undone := 0
+	for _, it := range out {
+		if !it.ran {
+			undone++
+		}
+	}
+	if undone == 0 {
+		t.Fatal("expected some items to be skipped after cancel")
+	}
+}
+
+func TestMapCtxSequentialCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapCtx(ctx, 10, 1, func(i int) ctxItem {
+		if i == 3 {
+			cancel()
+		}
+		return ctxItem{ran: true}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	for i, it := range out {
+		if it.ran != (i <= 3) {
+			t.Fatalf("out[%d].ran = %v", i, it.ran)
+		}
+	}
+}
+
+func TestMapCtxPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	MapCtx(context.Background(), 8, 4, func(i int) int {
+		if i == 5 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapCtxZeroItems(t *testing.T) {
+	out, err := MapCtx(context.Background(), 0, 4, func(i int) int { return i })
+	if out != nil || err != nil {
+		t.Fatalf("got %v, %v", out, err)
+	}
+}

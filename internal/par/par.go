@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -66,4 +67,69 @@ func Map[T any](n int, workers int, fn func(i int) T) []T {
 		panic(panicked)
 	}
 	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no new
+// index is handed to a worker, already-running fn calls finish, and
+// the ctx error is returned. Indices that were never dispatched keep
+// their zero value in the result slice, so callers that must
+// distinguish "ran" from "skipped" should have fn set a marker in T.
+// The serving layer uses this to stop a batch fan-out the moment a
+// request deadline expires instead of burning workers on doomed items.
+func MapCtx[T any](ctx context.Context, n int, workers int, fn func(i int) T) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+			out[i] = fn(i)
+		}
+		return out, ctx.Err()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	var panicOnce sync.Once
+	var panicked interface{}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					for range next {
+					}
+				}
+			}()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out, ctx.Err()
 }

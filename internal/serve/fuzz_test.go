@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeInstance fuzzes the single entry point every request body
+// passes through. Invariants:
+//
+//   - no input panics the decoder;
+//   - anything accepted is fully validated: non-nil instance within the
+//     configured shape limits, Validate(true)-clean, named algorithm;
+//   - acceptance is stable: re-encoding an accepted request and
+//     decoding it again must succeed and reproduce the instance.
+//
+// Together these guarantee the handlers only ever see sanitized
+// requests, which is what lets the solver layer stay assertion-free.
+func FuzzDecodeInstance(f *testing.F) {
+	f.Add([]byte(`{"algorithm":"lpt-norestriction","instance":{"m":3,"alpha":1.5,"estimates":[4,2,6,1,5]}}`))
+	f.Add([]byte(`{"algorithm":"ls-group:2","instance":{"m":4,"alpha":2,"estimates":[1,2,3],"actuals":[2,1,6]},"exact_limit":5}`))
+	f.Add([]byte(`{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1e308]}}`))
+	f.Add([]byte(`{"algorithm":"","instance":{"m":1,"alpha":1,"estimates":[1]}}`))
+	f.Add([]byte(`{"algorithm":"x","instance":{"m":0,"alpha":0,"estimates":[-1]}}`))
+	f.Add([]byte(`{"algorithm":"x","instance":{"m":1,"alpha":1,"estimates":[1]}}trailing`))
+	f.Add([]byte(`{"algorithm":"x","unknown_field":1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(Config{MaxTasks: 256, MaxMachines: 64})
+		req, err := s.decodeScheduleRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		in := req.Instance
+		if in == nil {
+			t.Fatalf("accepted request with nil instance: %s", data)
+		}
+		if req.Algorithm == "" {
+			t.Fatalf("accepted request with empty algorithm: %s", data)
+		}
+		if in.N() > 256 || in.M > 64 {
+			t.Fatalf("accepted instance beyond limits (n=%d m=%d): %s", in.N(), in.M, data)
+		}
+		if err := in.Validate(true); err != nil {
+			t.Fatalf("accepted invalid instance: %v\ninput: %s", err, data)
+		}
+		// Stability: the canonical re-encoding must decode to the same
+		// request.
+		enc, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		again, err := s.decodeScheduleRequest(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\ncanonical: %s\noriginal: %s", err, enc, data)
+		}
+		if again.Algorithm != req.Algorithm || again.Instance.N() != in.N() ||
+			again.Instance.M != in.M || again.Instance.Alpha != in.Alpha {
+			t.Fatalf("round trip changed request shape: %s", data)
+		}
+		for j := range in.Tasks {
+			if in.Tasks[j] != again.Instance.Tasks[j] {
+				t.Fatalf("round trip changed task %d: %+v != %+v", j, in.Tasks[j], again.Instance.Tasks[j])
+			}
+		}
+	})
+}

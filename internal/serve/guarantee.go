@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/bounds"
+)
+
+// guaranteeFor maps an algorithm name to the paper's analytic
+// competitive-ratio bound on an (m, α) system. The second return is
+// false when no finite guarantee is stated for the algorithm:
+//
+//   - lpt-nochoice        Theorem 2: 2α²m/(2α²+m−1)
+//   - lpt-norestriction   min(Theorem 3, Graham): 1+(m−1)/m·α²/2 vs 2−1/m
+//   - ls-norestriction    Graham's List Scheduling: 2−1/m (α-independent)
+//   - ls-group:k          Theorem 4: kα²/(α²+k−1)·(1+(k−1)/m)+(m−k)/m
+//   - lpt-group:k         Theorem 4 as well — its proof is a List
+//     Scheduling argument that holds for any phase-2 priority order
+//   - ls-group-balanced:k Theorem 4 only when k divides m (the paper's
+//     simplification; unequal groups void the formula)
+//   - oracle-lpt          Graham's offline LPT: 4/3−1/(3m), since the
+//     oracle schedules the true times
+//   - ls-nochoice, tail:c no stated bound
+func guaranteeFor(name string, m int, alpha float64) (float64, bool) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch lower {
+	case "lpt-nochoice":
+		return bounds.LPTNoChoice(m, alpha), true
+	case "lpt-norestriction":
+		return bounds.LPTNoRestriction(m, alpha), true
+	case "ls-norestriction":
+		return bounds.GrahamLS(m), true
+	case "oracle-lpt":
+		return bounds.LPTOffline(m), true
+	}
+	for _, prefix := range []string{"ls-group:", "lpt-group:", "ls-group-balanced:"} {
+		if !strings.HasPrefix(lower, prefix) {
+			continue
+		}
+		k, err := strconv.Atoi(lower[len(prefix):])
+		if err != nil || k < 1 || k > m {
+			return 0, false
+		}
+		if prefix == "ls-group-balanced:" && m%k != 0 {
+			return 0, false
+		}
+		return bounds.LSGroup(m, k, alpha), true
+	}
+	return 0, false
+}

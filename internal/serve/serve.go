@@ -1,0 +1,250 @@
+// Package serve exposes the algorithm library as a long-running
+// HTTP/JSON scheduling service (the daemon behind cmd/schedd). It is
+// the serving surface over the paper's two-phase pipeline: clients
+// submit problem instances and receive placements, executed schedules,
+// makespans, and analytic-bound checks.
+//
+// Endpoints:
+//
+//	POST /v1/schedule    run one named algorithm on one instance
+//	POST /v1/simulate    semi-clairvoyant replay with per-machine trace
+//	POST /v1/batch       many schedule requests, bounded fan-out
+//	GET  /v1/algorithms  the algorithm registry
+//	GET  /healthz        liveness and saturation
+//	GET  /metrics        internal/obs counters, gauges and timers
+//
+// The server is built to take hostile, concurrent traffic without
+// falling over:
+//
+//   - every request body is capped (http.MaxBytesReader) and decoded
+//     strictly (unknown fields and trailing garbage rejected);
+//   - instances are validated — NaN/Inf/negative/overflowing times,
+//     bad α, bad m, and oversized shapes are rejected with a 400
+//     before any solver runs;
+//   - solver-heavy endpoints acquire a slot from a fixed-size
+//     semaphore; a saturated server answers 429 with Retry-After
+//     instead of queueing unboundedly;
+//   - each request runs under a context deadline, and batch fan-outs
+//     (internal/par.MapCtx) stop dispatching items the moment the
+//     deadline expires;
+//   - a recovery middleware turns handler panics into 500s so one
+//     hostile instance cannot kill the daemon;
+//   - graceful shutdown is plain http.Server.Shutdown — handlers hold
+//     no state beyond the in-flight request.
+package serve
+
+import (
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Service metrics. Counters are monotone (the stress tests assert
+// this); the inflight gauge tracks occupied semaphore slots.
+var (
+	mReqTotal   = obs.GetCounter("serve.requests_total")
+	mResp2xx    = obs.GetCounter("serve.responses_2xx")
+	mResp4xx    = obs.GetCounter("serve.responses_4xx")
+	mResp5xx    = obs.GetCounter("serve.responses_5xx")
+	mRejected   = obs.GetCounter("serve.rejected_429")
+	mPanics     = obs.GetCounter("serve.panics_recovered")
+	mBatchItems = obs.GetCounter("serve.batch_items")
+	mInflight   = obs.GetGauge("serve.inflight")
+	tSchedule   = obs.GetTimer("serve.schedule")
+	tSimulate   = obs.GetTimer("serve.simulate")
+	tBatch      = obs.GetTimer("serve.batch")
+)
+
+// Config bounds the server. The zero value selects the defaults
+// documented on each field.
+type Config struct {
+	// MaxInflight is the semaphore size shared by the solver-heavy
+	// endpoints (/v1/schedule, /v1/simulate, /v1/batch). Requests
+	// beyond it receive 429. Default: 2·GOMAXPROCS.
+	MaxInflight int
+	// Workers bounds the fan-out of one /v1/batch request.
+	// Default: GOMAXPROCS.
+	Workers int
+	// MaxTasks caps the task count of a submitted instance.
+	// Default: 100000.
+	MaxTasks int
+	// MaxMachines caps the machine count of a submitted instance (the
+	// simulator allocates per-machine state). Default: 10000.
+	MaxMachines int
+	// MaxBatch caps the number of items in one /v1/batch request.
+	// Default: 256.
+	MaxBatch int
+	// MaxBodyBytes caps the request body size. Default: 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request context deadline.
+	// Default: 30s.
+	RequestTimeout time.Duration
+	// ExactLimit is passed to opt.Estimate: instances up to this many
+	// tasks are scored against the exact optimum. 0 selects the opt
+	// default (20). Keep it small — it bounds per-request CPU.
+	ExactLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 100000
+	}
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = 10000
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the scheduling service. Create one with New and mount
+// Handler on an http.Server.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+}
+
+// New returns a Server with the given configuration (zero fields get
+// defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		start: time.Now(),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Handler returns the service's HTTP handler. It is safe for
+// concurrent use and holds no per-request state outside the request
+// goroutine, so graceful shutdown is http.Server.Shutdown.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("POST /v1/schedule", s.gated(tSchedule, s.handleSchedule))
+	mux.HandleFunc("POST /v1/simulate", s.gated(tSimulate, s.handleSimulate))
+	mux.HandleFunc("POST /v1/batch", s.gated(tBatch, s.handleBatch))
+	return s.instrument(mux)
+}
+
+// instrument is the outermost middleware: request counting, panic
+// recovery, and the body-size cap. It wraps the ResponseWriter so the
+// response class counters stay accurate even for handlers that never
+// call WriteHeader explicitly.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mReqTotal.Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				mPanics.Inc()
+				// One hostile instance must not kill the daemon: swallow
+				// the panic and answer 500 if the handler had not begun
+				// responding.
+				if !sw.wrote {
+					http.Error(sw, "internal error", http.StatusInternalServerError)
+				}
+			}
+			switch {
+			case sw.status() >= 500:
+				mResp5xx.Inc()
+			case sw.status() == http.StatusTooManyRequests:
+				mRejected.Inc()
+				mResp4xx.Inc()
+			case sw.status() >= 400:
+				mResp4xx.Inc()
+			default:
+				mResp2xx.Inc()
+			}
+		}()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// gated wraps a solver-heavy handler with the shared backpressure
+// semaphore, the per-request deadline, and a latency timer.
+func (s *Server) gated(timer *obs.Timer, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			mInflight.Inc()
+			defer func() {
+				mInflight.Dec()
+				<-s.sem
+			}()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated: all solver slots busy")
+			return
+		}
+		defer timer.Start()()
+		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// statusWriter records the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) status() int {
+	if !w.wrote {
+		// Nothing written: ServeMux's 404/405 paths always write, so
+		// this is an empty 200 (e.g. a HEAD-like handler).
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		Inflight:      mInflight.Load(),
+		MaxInflight:   s.cfg.MaxInflight,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	})
+}

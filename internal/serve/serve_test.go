@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bounds"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+const validSchedule = `{"algorithm":"lpt-norestriction","instance":{"m":3,"alpha":1.5,"estimates":[4,2,6,1,5],"actuals":[4.4,1.8,6.6,1.1,4.5]}}`
+
+func TestScheduleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := post(t, ts, "/v1/schedule", validSchedule)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out ScheduleResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Algorithm != "LPT-NoRestriction" || out.N != 5 || out.M != 3 {
+		t.Fatalf("shape: %+v", out)
+	}
+	if out.Makespan <= 0 || out.Optimum.Lower <= 0 || out.Optimum.Upper < out.Optimum.Lower {
+		t.Fatalf("scoring: %+v", out)
+	}
+	if out.Guarantee == nil || out.BoundOK == nil {
+		t.Fatal("guarantee missing for lpt-norestriction")
+	}
+	if !*out.BoundOK {
+		t.Fatalf("theorem violated?! makespan %v guarantee %v optimum %+v",
+			out.Makespan, *out.Guarantee, out.Optimum)
+	}
+	if out.Schedule == nil || out.Placement == nil {
+		t.Fatal("schedule/placement missing")
+	}
+}
+
+func TestScheduleRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxTasks: 4, MaxMachines: 8})
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"invalid json", `{`, 400},
+		{"trailing garbage", validSchedule + `x`, 400},
+		{"unknown field", `{"algorithm":"oracle-lpt","bogus":1,"instance":{"m":1,"alpha":1,"estimates":[1]}}`, 400},
+		{"missing algorithm", `{"instance":{"m":1,"alpha":1,"estimates":[1]}}`, 400},
+		{"missing instance", `{"algorithm":"oracle-lpt"}`, 400},
+		{"zero machines", `{"algorithm":"oracle-lpt","instance":{"m":0,"alpha":1,"estimates":[1]}}`, 400},
+		{"negative estimate", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[-1]}}`, 400},
+		{"NaN alpha", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":null,"estimates":[1]}}`, 400},
+		{"alpha below one", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":0.5,"estimates":[1]}}`, 400},
+		{"actual outside band", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1],"actuals":[9]}}`, 400},
+		{"overflowing times", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1e308,1e308,1e308]}}`, 400},
+		{"too many tasks", `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1,1,1,1,1]}}`, 400},
+		{"too many machines", `{"algorithm":"oracle-lpt","instance":{"m":9,"alpha":1,"estimates":[1]}}`, 400},
+		{"unknown algorithm", `{"algorithm":"nope","instance":{"m":1,"alpha":1,"estimates":[1]}}`, 422},
+		{"group does not divide m", `{"algorithm":"ls-group:3","instance":{"m":4,"alpha":1,"estimates":[1,2,3]}}`, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := post(t, ts, "/v1/schedule", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, data)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Fatalf("error envelope missing: %s", data)
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/schedule status %d", resp.StatusCode)
+	}
+}
+
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[` +
+		strings.Repeat("1,", 500) + `1]}}`
+	resp, data := post(t, ts, "/v1/schedule", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"algorithm":"ls-group:2","instance":{"m":4,"alpha":2,"estimates":[3,1,4,1,5,9,2,6]}}`
+	resp, data := post(t, ts, "/v1/simulate", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out SimulateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Machines) != 4 {
+		t.Fatalf("want 4 machine traces, got %d", len(out.Machines))
+	}
+	// Every task must appear exactly once as a start and once as a
+	// finish across the machine timelines, in non-decreasing time per
+	// machine.
+	starts, finishes := map[int]int{}, map[int]int{}
+	for _, mt := range out.Machines {
+		last := math.Inf(-1)
+		for _, ev := range mt.Events {
+			if ev.Time < last {
+				t.Fatalf("machine %d trace not time-ordered", mt.Machine)
+			}
+			last = ev.Time
+			switch ev.Kind {
+			case "start":
+				starts[ev.Task]++
+			case "finish":
+				finishes[ev.Task]++
+			default:
+				t.Fatalf("bad event kind %q", ev.Kind)
+			}
+		}
+	}
+	for j := 0; j < 8; j++ {
+		if starts[j] != 1 || finishes[j] != 1 {
+			t.Fatalf("task %d: %d starts, %d finishes", j, starts[j], finishes[j])
+		}
+	}
+}
+
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out AlgorithmsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Algorithms) == 0 {
+		t.Fatal("no algorithms listed")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflight: 7})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" || out.MaxInflight != 7 {
+		t.Fatalf("health: %+v", out)
+	}
+}
+
+// TestSaturatedReturns429 is the acceptance check for backpressure: a
+// server whose only solver slot is occupied answers 429 immediately on
+// /v1/batch (and /v1/schedule) rather than queueing.
+func TestSaturatedReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 1})
+	// Occupy the single slot deterministically.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	batch := `{"requests":[` + validSchedule + `]}`
+	for _, path := range []string{"/v1/batch", "/v1/schedule", "/v1/simulate"} {
+		body := validSchedule
+		if path == "/v1/batch" {
+			body = batch
+		}
+		resp, data := post(t, ts, path, body)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: status %d, want 429: %s", path, resp.StatusCode, data)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s: missing Retry-After", path)
+		}
+	}
+
+	// Health and metrics must stay reachable while saturated.
+	for _, path := range []string{"/healthz", "/metrics", "/v1/algorithms"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d while saturated", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestPanicRecovery wires a panicking algorithm through the batch
+// fan-out and checks the daemon answers 500 and keeps serving.
+func TestPanicRecovery(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// Hand-crafted handler path: panic inside the instrumented stack.
+	h := s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("hostile instance")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/schedule", strings.NewReader("{}")))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panic produced status %d", rec.Code)
+	}
+	// The real server is still alive afterwards.
+	resp, data := post(t, ts, "/v1/schedule", validSchedule)
+	if resp.StatusCode != 200 {
+		t.Fatalf("server dead after panic: %d %s", resp.StatusCode, data)
+	}
+}
+
+func TestGuaranteeFor(t *testing.T) {
+	m, alpha := 12, 1.5
+	cases := []struct {
+		name string
+		want float64
+		ok   bool
+	}{
+		{"lpt-nochoice", bounds.LPTNoChoice(m, alpha), true},
+		{"lpt-norestriction", bounds.LPTNoRestriction(m, alpha), true},
+		{"ls-norestriction", bounds.GrahamLS(m), true},
+		{"oracle-lpt", bounds.LPTOffline(m), true},
+		{"ls-group:3", bounds.LSGroup(m, 3, alpha), true},
+		{"lpt-group:4", bounds.LSGroup(m, 4, alpha), true},
+		{"ls-group-balanced:6", bounds.LSGroup(m, 6, alpha), true},
+		{"ls-group-balanced:5", 0, false}, // 5 does not divide 12
+		{"ls-group:99", 0, false},         // k > m
+		{"ls-nochoice", 0, false},
+		{"tail:2", 0, false},
+		{"unknown", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := guaranteeFor(tc.name, m, alpha)
+		if ok != tc.ok || (ok && math.Abs(got-tc.want) > 1e-12) {
+			t.Errorf("guaranteeFor(%q) = %v,%v want %v,%v", tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRequestTimeoutCancelsBatch gives the batch a deadline far too
+// small for its items and checks the response arrives with cancelled
+// items instead of hanging.
+func TestRequestTimeoutCancelsBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond, Workers: 2})
+	var items []string
+	for i := 0; i < 16; i++ {
+		items = append(items, validSchedule)
+	}
+	resp, data := post(t, ts, "/v1/batch", `{"requests":[`+strings.Join(items, ",")+`]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 16 {
+		t.Fatalf("%d results", len(out.Results))
+	}
+	cancelled := 0
+	for _, item := range out.Results {
+		if item.Error != "" {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("nanosecond deadline cancelled nothing")
+	}
+}

@@ -58,7 +58,27 @@ var (
 	ErrBadSize     = errors.New("task: sizes must be non-negative and finite")
 	ErrBadID       = errors.New("task: task ID must equal its index")
 	ErrActualUnset = errors.New("task: actual processing time not set")
+	ErrOverflow    = errors.New("task: processing times overflow float64")
 )
+
+// CheckMachines centralizes the machine-count check (m ≥ 1) so that
+// every entry point — the serving layer, the CLI sweeps, and Validate
+// itself — rejects bad parameters with the same error.
+func CheckMachines(m int) error {
+	if m <= 0 {
+		return fmt.Errorf("%w: got %d", ErrNoMachines, m)
+	}
+	return nil
+}
+
+// CheckAlpha centralizes the uncertainty-factor check: α must be a
+// finite number ≥ 1.
+func CheckAlpha(alpha float64) error {
+	if alpha < 1 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return fmt.Errorf("%w: got %v", ErrBadAlpha, alpha)
+	}
+	return nil
+}
 
 // N returns the number of tasks n.
 func (in *Instance) N() int { return len(in.Tasks) }
@@ -67,16 +87,24 @@ func (in *Instance) N() int { return len(in.Tasks) }
 // and task counts, α ≥ 1, positive finite estimates, IDs matching
 // indices, non-negative sizes, and — when withActuals is true — that
 // every actual time satisfies Equation 1.
+//
+// It also rejects instances whose times are individually finite but
+// overflow in aggregate: Σ p̃_j (and Σ p_j when actuals are checked)
+// must stay below +Inf, and each task's Equation-1 interval bound
+// α·p̃_j must be representable. Such instances would otherwise
+// propagate +Inf through load accounting, makespans, and optimum
+// estimates and surface as NaN comparisons deep inside the solvers.
 func (in *Instance) Validate(withActuals bool) error {
-	if in.M <= 0 {
-		return ErrNoMachines
+	if err := CheckMachines(in.M); err != nil {
+		return err
 	}
 	if len(in.Tasks) == 0 {
 		return ErrNoTasks
 	}
-	if in.Alpha < 1 || math.IsNaN(in.Alpha) || math.IsInf(in.Alpha, 0) {
-		return fmt.Errorf("%w: got %v", ErrBadAlpha, in.Alpha)
+	if err := CheckAlpha(in.Alpha); err != nil {
+		return err
 	}
+	sumEst, sumAct := 0.0, 0.0
 	for i, t := range in.Tasks {
 		if t.ID != i {
 			return fmt.Errorf("%w: index %d has ID %d", ErrBadID, i, t.ID)
@@ -84,14 +112,25 @@ func (in *Instance) Validate(withActuals bool) error {
 		if !(t.Estimate > 0) || math.IsInf(t.Estimate, 0) {
 			return fmt.Errorf("%w: task %d estimate %v", ErrBadEstimate, i, t.Estimate)
 		}
+		if math.IsInf(t.Estimate*in.Alpha, 0) {
+			return fmt.Errorf("%w: task %d estimate %v times alpha %v", ErrOverflow, i, t.Estimate, in.Alpha)
+		}
 		if t.Size < 0 || math.IsNaN(t.Size) || math.IsInf(t.Size, 0) {
 			return fmt.Errorf("%w: task %d size %v", ErrBadSize, i, t.Size)
 		}
+		sumEst += t.Estimate
 		if withActuals {
 			if err := in.validateActual(t); err != nil {
 				return err
 			}
+			sumAct += t.Actual
 		}
+	}
+	if math.IsInf(sumEst, 0) {
+		return fmt.Errorf("%w: total estimate is +Inf", ErrOverflow)
+	}
+	if withActuals && math.IsInf(sumAct, 0) {
+		return fmt.Errorf("%w: total actual time is +Inf", ErrOverflow)
 	}
 	return nil
 }

@@ -76,12 +76,15 @@ func New(spec Spec) (*task.Instance, error) {
 	if spec.N <= 0 {
 		return nil, fmt.Errorf("workload: n must be positive, got %d", spec.N)
 	}
-	if spec.M <= 0 {
-		return nil, fmt.Errorf("workload: m must be positive, got %d", spec.M)
+	if err := task.CheckMachines(spec.M); err != nil {
+		return nil, err
 	}
 	alpha := spec.Alpha
 	if alpha == 0 {
 		alpha = 1
+	}
+	if err := task.CheckAlpha(alpha); err != nil {
+		return nil, err
 	}
 	src := rng.New(spec.Seed)
 	est, sizes := gen(spec, src)
