@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check cover bench figs fuzz stress clean
+.PHONY: all build test race check cover bench figs fuzz stress chaos clean
 
 all: build test
 
@@ -16,14 +16,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/ ./internal/serve/ ./cmd/schedd/
+	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/ ./internal/serve/ ./internal/cluster/ ./cmd/schedd/ ./cmd/clusterd/
 
-# Full gate: what CI runs. Vet, build, and the whole test suite under
-# the race detector.
+# Full gate: what CI runs. Vet, build, the whole test suite under the
+# race detector, the cluster chaos layer, and the internal/cluster
+# coverage floor.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 ./internal/cluster/
+	$(GO) test -coverprofile=cluster.cov ./internal/cluster/
+	@pct=$$($(GO) tool cover -func=cluster.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/cluster coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
+	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -40,12 +47,18 @@ fuzz:
 	$(GO) test -fuzz=FuzzInstanceJSON -fuzztime=30s ./internal/task/
 	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime=30s ./internal/serve/
 	$(GO) test -fuzz=FuzzExecute -fuzztime=30s ./internal/algo/
+	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=30s ./internal/cluster/
 
 # The serving layer's concurrency tests under the race detector:
 # loopback traffic storm, saturation, graceful shutdown.
 stress:
 	$(GO) test -race -run Stress -count=1 -v ./internal/serve/
 
+# The cluster dispatch layer's fault-injection tests under the race
+# detector: backends killed and restarted mid-batch.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 -v ./internal/cluster/
+
 clean:
-	rm -rf out/
+	rm -rf out/ cluster.cov
 	$(GO) clean -testcache

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// bootBackends starts n in-process schedd instances for clusterd to
+// front.
+func bootBackends(t *testing.T, n int) []string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		t.Cleanup(ts.Close)
+		urls = append(urls, ts.URL)
+	}
+	return urls
+}
+
+// TestRunServesAndShutsDown boots clusterd against two live schedd
+// backends, exercises every endpoint, and checks clean drain on
+// context cancellation.
+func TestRunServesAndShutsDown(t *testing.T) {
+	cfg := cluster.Config{Backends: bootBackends(t, 2), Strategy: "group:2"}
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", cfg, 5*time.Second, ready)
+	}()
+
+	var base string
+	select {
+	case a := <-ready:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	var health cluster.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || len(health.Backends) != 2 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	body := `{"requests":[
+	  {"algorithm":"lpt-norestriction","instance":{"m":3,"alpha":1.5,"estimates":[4,2,6,1,5]}},
+	  {"algorithm":"oracle-lpt","instance":{"m":2,"alpha":1,"estimates":[3,1,2]}}
+	]}`
+	resp, err = http.Post(base+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	var batch cluster.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatalf("batch decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(batch.Results) != 2 {
+		t.Fatalf("batch: status %d results %d", resp.StatusCode, len(batch.Results))
+	}
+	for i, item := range batch.Results {
+		if item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestRunRejectsBadConfig surfaces configuration errors instead of
+// hanging the daemon.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(context.Background(), "127.0.0.1:0",
+		cluster.Config{}, time.Second, nil); err == nil {
+		t.Fatal("accepted empty backend list")
+	}
+	if err := run(context.Background(), "127.0.0.1:0",
+		cluster.Config{Backends: []string{"http://a", "http://b"}, Strategy: "group:3"},
+		time.Second, nil); err == nil {
+		t.Fatal("accepted non-dividing group count")
+	}
+	if err := run(context.Background(), "256.256.256.256:99999",
+		cluster.Config{Backends: bootBackends(t, 1)}, time.Second, nil); err == nil {
+		t.Fatal("accepted bad listen address")
+	}
+}
+
+func TestSplitBackends(t *testing.T) {
+	got := splitBackends(" http://a:8080/ ,, http://b:8080 ,")
+	want := []string{"http://a:8080", "http://b:8080"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("splitBackends = %v, want %v", got, want)
+	}
+}

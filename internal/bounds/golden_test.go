@@ -1,0 +1,88 @@
+package bounds
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenGuarantees pins the byte-exact values of the paper's
+// analytic guarantee formulas over the Table 1 and Table 2 grids. The
+// experiments-package golden tests pin the rendered tables; this one
+// pins the formulas themselves, so a regression is attributed to the
+// bounds layer directly. Refresh with:
+//
+//	go test ./internal/bounds -run TestGolden -update
+func TestGoldenGuarantees(t *testing.T) {
+	var buf bytes.Buffer
+
+	// Table 1: makespan guarantees as functions of (m, α, k).
+	fmt.Fprintln(&buf, "# Table 1 guarantee formulas")
+	fmt.Fprintln(&buf, "# m alpha lower-bound lpt-nochoice lpt-norestriction(thm) lpt-norestriction graham-ls lpt-offline ls-group:2 ls-group:3 ls-group:m")
+	for _, m := range []int{6, 12, 210} {
+		for _, alpha := range []float64{1.1, 1.5, 2} {
+			fmt.Fprintf(&buf, "%d %.1f %.6f %.6f %.6f %.6f %.6f %.6f %.6f %.6f %.6f\n",
+				m, alpha,
+				LowerBoundNoReplication(m, alpha),
+				LPTNoChoice(m, alpha),
+				LPTNoRestrictionTheorem(m, alpha),
+				LPTNoRestriction(m, alpha),
+				GrahamLS(m),
+				LPTOffline(m),
+				LSGroup(m, 2, alpha),
+				LSGroup(m, 3, alpha),
+				LSGroup(m, m, alpha))
+		}
+	}
+	fmt.Fprintf(&buf, "# limit alpha->inf lower bound: %.6f %.6f %.6f\n",
+		LowerBoundNoReplicationLimit(1.1),
+		LowerBoundNoReplicationLimit(1.5),
+		LowerBoundNoReplicationLimit(2))
+
+	// Table 2: bi-objective guarantees as functions of (α, Δ, ρ).
+	fmt.Fprintln(&buf, "# Table 2 guarantee formulas (m=5)")
+	fmt.Fprintln(&buf, "# alpha^2 rho delta sabo-makespan sabo-memory abo-makespan abo-memory")
+	for _, alphaSq := range []float64{2, 3} {
+		alpha := math.Sqrt(alphaSq)
+		for _, rho := range []float64{4.0 / 3.0, 1} {
+			for _, delta := range []float64{0.25, 0.5, 1, 2, 4} {
+				fmt.Fprintf(&buf, "%.0f %.6f %.2f %.6f %.6f %.6f %.6f\n",
+					alphaSq, rho, delta,
+					SABOMakespan(alpha, delta, rho),
+					SABOMemory(delta, rho),
+					ABOMakespan(5, alpha, delta, rho),
+					ABOMemory(5, delta, rho))
+			}
+		}
+	}
+
+	compareGolden(t, "guarantees.txt", buf.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from golden file; run with -update if intentional.\ngot:\n%s\nwant:\n%s",
+			name, got, want)
+	}
+}

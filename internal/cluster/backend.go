@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// breakerConfig bounds one backend's circuit breaker.
+type breakerConfig struct {
+	Threshold   int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// Breaker states, also the values of the per-backend breaker gauge.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// backend is one schedd instance in the pool, with its failure
+// bookkeeping. The in-flight count drives the "first idle replica"
+// selection; the breaker keeps dead backends out of the rotation.
+type backend struct {
+	id     int
+	url    string
+	client *http.Client
+	bcfg   breakerConfig
+
+	// inflight is the local dispatch count used for selection; the
+	// gauges mirror it (and the breaker state) into /metrics.
+	inflight  atomic.Int64
+	gInflight *obs.Gauge
+	gBreaker  *obs.Gauge
+
+	mu          sync.Mutex
+	consecFails int
+	backoff     time.Duration
+	openUntil   time.Time
+}
+
+func newBackend(id int, url string, client *http.Client, bcfg breakerConfig) *backend {
+	return &backend{
+		id:        id,
+		url:       url,
+		client:    client,
+		bcfg:      bcfg,
+		gInflight: obs.GetGauge(fmt.Sprintf("cluster.backend.%d.inflight", id)),
+		gBreaker:  obs.GetGauge(fmt.Sprintf("cluster.backend.%d.breaker", id)),
+	}
+}
+
+// state reports the breaker position at now: closed while the
+// consecutive-failure count is below threshold, open inside the
+// backoff window, half-open once the window elapses (dispatches are
+// admitted again as trials; one more failure re-opens with a doubled
+// window).
+func (b *backend) state(now time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked(now)
+}
+
+func (b *backend) stateLocked(now time.Time) int {
+	if b.consecFails < b.bcfg.Threshold {
+		return breakerClosed
+	}
+	if now.Before(b.openUntil) {
+		return breakerOpen
+	}
+	return breakerHalfOpen
+}
+
+// selectable reports whether a dispatch may be sent at now.
+func (b *backend) selectable(now time.Time) bool {
+	return b.state(now) != breakerOpen
+}
+
+// reopenAt returns when an open breaker admits its next trial (zero
+// time when not open).
+func (b *backend) reopenAt(now time.Time) time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked(now) != breakerOpen {
+		return time.Time{}
+	}
+	return b.openUntil
+}
+
+// recordSuccess closes the breaker and resets the backoff.
+func (b *backend) recordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.backoff = 0
+	b.openUntil = time.Time{}
+	b.gBreaker.Set(breakerClosed)
+}
+
+// recordFailure counts one transport/5xx failure; crossing the
+// threshold opens the breaker, and a failed half-open trial re-opens
+// it with a doubled (capped) window.
+func (b *backend) recordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasOpen := b.stateLocked(now) == breakerOpen
+	b.consecFails++
+	if b.consecFails < b.bcfg.Threshold {
+		return
+	}
+	switch {
+	case b.backoff == 0:
+		b.backoff = b.bcfg.BaseBackoff
+	case !wasOpen:
+		// A failure after the open window elapsed: the half-open trial
+		// failed, so back off harder.
+		b.backoff *= 2
+		if b.backoff > b.bcfg.MaxBackoff {
+			b.backoff = b.bcfg.MaxBackoff
+		}
+	default:
+		// Still inside the window (a straggling in-flight failure):
+		// keep the current horizon.
+		return
+	}
+	b.openUntil = now.Add(b.backoff)
+	b.gBreaker.Set(breakerOpen)
+	mBreakOpens.Inc()
+}
+
+// probe checks the backend's /healthz once.
+func (b *backend) probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: healthz status %d", resp.StatusCode)
+	}
+	var h serve.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("cluster: healthz decode: %w", err)
+	}
+	return nil
+}
+
+// status renders the backend for /healthz.
+func (b *backend) status(now time.Time) BackendStatus {
+	b.mu.Lock()
+	fails := b.consecFails
+	b.mu.Unlock()
+	names := [...]string{"closed", "open", "half-open"}
+	return BackendStatus{
+		ID:                  b.id,
+		URL:                 b.url,
+		Breaker:             names[b.state(now)],
+		Inflight:            b.inflight.Load(),
+		ConsecutiveFailures: fails,
+	}
+}

@@ -1,0 +1,328 @@
+// Package cluster lifts the paper's two-phase model into a networked
+// dispatch proxy: a pool of schedd backends plays the role of the
+// machine set M, each incoming work item (a schedule request with an
+// uncertain cost estimate) is assigned a replica set M_j over the
+// backends using the phase-1 placement package, and phase 2 dispatches
+// semi-clairvoyantly — the first idle backend holding a replica runs
+// the item, duplicates are cancelled via context, and slow replicas
+// are hedged after a quantile-based delay (the tail-at-scale trick the
+// paper's replication theorems justify analytically).
+//
+// Robustness mirrors sim.RunWithFailures at the network layer:
+//
+//   - per-backend health probes against /healthz re-admit restarted
+//     backends quickly;
+//   - consecutive failures open a per-backend circuit breaker with
+//     exponential backoff, so a dead backend stops eating dispatches;
+//   - 429 responses are honored via Retry-After instead of hammering a
+//     saturated backend;
+//   - items stranded on a failed backend are re-dispatched to another
+//     member of their replica set — an item is lost only when its
+//     whole replica set is unavailable for the full request deadline,
+//     the networked analogue of ErrUnsurvivable.
+//
+// Observability: obs counters/gauges for per-backend in-flight, hedges
+// fired and won, re-dispatches, 429 retries, and breaker state, all
+// exposed on clusterd's /metrics.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Cluster-wide metrics. Counters are monotone; per-backend gauges are
+// registered in newBackend.
+var (
+	mItems      = obs.GetCounter("cluster.items_total")
+	mDispatches = obs.GetCounter("cluster.dispatches_total")
+	mHedges     = obs.GetCounter("cluster.hedges_fired")
+	mHedgeWins  = obs.GetCounter("cluster.hedge_wins")
+	mRedispatch = obs.GetCounter("cluster.redispatches")
+	mRetry429   = obs.GetCounter("cluster.retries_429")
+	mBreakOpens = obs.GetCounter("cluster.breaker_opens")
+	tBatch      = obs.GetTimer("cluster.batch")
+)
+
+// Config parameterizes the dispatcher. The zero value of every field
+// except Backends selects the documented default.
+type Config struct {
+	// Backends lists the schedd base URLs (e.g. "http://10.0.0.7:8080")
+	// that form the machine pool. At least one is required.
+	Backends []string
+	// Strategy is the phase-1 replication strategy over the backends:
+	// "all" (replicate everywhere, the default), "none" (each item on
+	// the least-loaded single backend), or "group:k" (backends
+	// partitioned into k groups via placement.PartitionGroups; k must
+	// divide the backend count).
+	Strategy string
+	// Workers bounds the batch fan-out (par.MapCtx). Default:
+	// 2·GOMAXPROCS — dispatch workers mostly wait on the network.
+	Workers int
+	// MaxBatch caps the items of one /v1/batch request. Default: 256.
+	MaxBatch int
+	// MaxTasks and MaxMachines cap submitted instances, mirroring the
+	// schedd limits so the proxy rejects what its backends would.
+	// Defaults: 100000 and 10000.
+	MaxTasks    int
+	MaxMachines int
+	// MaxBodyBytes caps the request body size. Default: 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the end-to-end deadline of one batch; items
+	// still retrying when it expires are reported as lost. Default: 60s.
+	RequestTimeout time.Duration
+	// DisableHedging turns duplicate dispatch off: each item runs on
+	// exactly one backend at a time (still re-dispatched on failure).
+	// The metamorphic tests rely on this mode being deterministic.
+	DisableHedging bool
+	// HedgeQuantile picks the latency quantile after which a slow
+	// dispatch is duplicated onto another replica. Default: 0.9.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay so cold starts (no latency
+	// observations yet) do not hedge instantly. Default: 2ms.
+	HedgeMinDelay time.Duration
+	// HedgeMaxDelay caps the hedge delay. Default: 1s.
+	HedgeMaxDelay time.Duration
+	// MaxHedges bounds the extra replicas one item may be hedged onto.
+	// Default: 1.
+	MaxHedges int
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker. Default: 3.
+	BreakerThreshold int
+	// BreakerBaseBackoff is the first open window; it doubles on every
+	// failed half-open trial up to BreakerMaxBackoff.
+	// Defaults: 100ms and 5s.
+	BreakerBaseBackoff time.Duration
+	BreakerMaxBackoff  time.Duration
+	// ProbeInterval spaces the background /healthz probes that close
+	// breakers of recovered backends. Default: 500ms.
+	ProbeInterval time.Duration
+	// RetryAfterCap bounds how long a 429 Retry-After is honored before
+	// re-dispatching. Default: 2s.
+	RetryAfterCap time.Duration
+	// Transport overrides the HTTP transport (tests inject failure
+	// modes here). Default: http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 100000
+	}
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.9
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 2 * time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = time.Second
+	}
+	if c.MaxHedges <= 0 {
+		c.MaxHedges = 1
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBaseBackoff <= 0 {
+		c.BreakerBaseBackoff = 100 * time.Millisecond
+	}
+	if c.BreakerMaxBackoff <= 0 {
+		c.BreakerMaxBackoff = 5 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
+	}
+	return c
+}
+
+// Cluster is the dispatch proxy. Create one with New, optionally call
+// Start for background health probing, and mount Handler (or call
+// RunBatch directly).
+type Cluster struct {
+	cfg      Config
+	strat    strategy
+	backends []*backend
+	lat      *latencyWindow
+
+	probeMu   sync.Mutex
+	probeStop context.CancelFunc
+	probeWG   sync.WaitGroup
+}
+
+// New validates the configuration (backend list and strategy) and
+// returns a ready dispatcher. Health probing starts only with Start.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	strat, err := parseStrategy(cfg.Strategy, len(cfg.Backends))
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: cfg.Transport}
+	c := &Cluster{cfg: cfg, strat: strat, lat: newLatencyWindow(256)}
+	for i, url := range cfg.Backends {
+		c.backends = append(c.backends, newBackend(i, url, client, breakerConfig{
+			Threshold:   cfg.BreakerThreshold,
+			BaseBackoff: cfg.BreakerBaseBackoff,
+			MaxBackoff:  cfg.BreakerMaxBackoff,
+		}))
+	}
+	return c, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Start launches one background health-probe loop per backend. Probes
+// close the breaker of a recovered backend without waiting for a live
+// dispatch to discover it. Stop with Close.
+func (c *Cluster) Start() {
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	if c.probeStop != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.probeStop = cancel
+	for _, b := range c.backends {
+		b := b
+		c.probeWG.Add(1)
+		go func() {
+			defer c.probeWG.Done()
+			c.probeLoop(ctx, b)
+		}()
+	}
+}
+
+// Close stops the health probes started by Start.
+func (c *Cluster) Close() {
+	c.probeMu.Lock()
+	stop := c.probeStop
+	c.probeStop = nil
+	c.probeMu.Unlock()
+	if stop != nil {
+		stop()
+		c.probeWG.Wait()
+	}
+}
+
+// probeLoop polls one backend's /healthz until ctx is done.
+func (c *Cluster) probeLoop(ctx context.Context, b *backend) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.ProbeInterval)
+		err := b.probe(pctx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			b.recordFailure(time.Now())
+		} else {
+			b.recordSuccess()
+		}
+	}
+}
+
+// Handler returns the proxy's HTTP surface:
+//
+//	POST /v1/batch   dispatch a batch across the backend pool
+//	GET  /healthz    per-backend breaker and in-flight view
+//	GET  /metrics    internal/obs snapshot
+func (c *Cluster) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	return mux
+}
+
+func (c *Cluster) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer tBatch.Start()()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	}
+	req, err := c.DecodeBatch(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := c.RunBatch(ctx, req)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	resp := HealthResponse{Status: "ok"}
+	live := 0
+	for _, b := range c.backends {
+		st := b.status(now)
+		if st.Breaker != "open" {
+			live++
+		}
+		resp.Backends = append(resp.Backends, st)
+	}
+	if live == 0 {
+		// Every breaker open: the pool cannot place anything right now.
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON mirrors serve's writer byte-for-byte (json.Encoder with a
+// trailing newline), which the metamorphic byte-identity tests depend
+// on.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+var errNoBackend = fmt.Errorf("cluster: no live replica")

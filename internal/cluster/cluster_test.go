@@ -1,0 +1,647 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// testBackend wraps a real serve handler with fault injection: down
+// simulates a fail-stop crash (connections are hijacked and closed
+// without a response, before any work happens), delay simulates work,
+// and served counts successful /v1/schedule executions per batch item
+// so tests can assert exactly-once completion.
+type testBackend struct {
+	ts    *httptest.Server
+	inner http.Handler
+	down  atomic.Bool
+	delay atomic.Int64 // nanoseconds of simulated work per request
+
+	mu     sync.Mutex
+	served map[string]int // ItemHeader value -> 200 responses
+}
+
+func (tb *testBackend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if tb.down.Load() {
+		hijackClose(w)
+		return
+	}
+	if d := tb.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	// A crash that lands mid-work loses the in-flight request, like a
+	// machine failure in sim.RunWithFailures loses the running task.
+	if tb.down.Load() {
+		hijackClose(w)
+		return
+	}
+	sw := &statusCapture{ResponseWriter: w}
+	tb.inner.ServeHTTP(sw, r)
+	if sw.code == http.StatusOK && r.URL.Path == "/v1/schedule" {
+		if item := r.Header.Get(ItemHeader); item != "" {
+			tb.mu.Lock()
+			tb.served[item]++
+			tb.mu.Unlock()
+		}
+	}
+}
+
+func (tb *testBackend) executions() map[string]int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	out := make(map[string]int, len(tb.served))
+	for k, v := range tb.served {
+		out[k] = v
+	}
+	return out
+}
+
+func hijackClose(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("test backend: ResponseWriter not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}
+
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusCapture) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// newTestBackends boots n loopback schedd instances behind fault
+// injectors and returns them with their URLs.
+func newTestBackends(t *testing.T, n int, scfg serve.Config) ([]*testBackend, []string) {
+	t.Helper()
+	var bs []*testBackend
+	var urls []string
+	for i := 0; i < n; i++ {
+		tb := &testBackend{
+			inner:  serve.New(scfg).Handler(),
+			served: map[string]int{},
+		}
+		tb.ts = httptest.NewServer(tb)
+		t.Cleanup(tb.ts.Close)
+		bs = append(bs, tb)
+		urls = append(urls, tb.ts.URL)
+	}
+	return bs, urls
+}
+
+// testBatch builds a deterministic batch of k small valid items.
+func testBatch(k int) *BatchRequest {
+	req := &BatchRequest{}
+	algos := []string{"lpt-norestriction", "ls-norestriction", "oracle-lpt", "ls-group:2"}
+	for i := 0; i < k; i++ {
+		body := fmt.Sprintf(
+			`{"algorithm":%q,"instance":{"m":4,"alpha":1.5,"estimates":[%d,3,9,1,7,5,2,8]}}`,
+			algos[i%len(algos)], i+1)
+		var r serve.ScheduleRequest
+		if err := serve.DecodeStrict(strings.NewReader(body), &r); err != nil {
+			panic(err)
+		}
+		req.Requests = append(req.Requests, r)
+	}
+	return req
+}
+
+func mustCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		in   string
+		nb   int
+		kind int
+		k    int
+		ok   bool
+	}{
+		{"", 4, stratAll, 0, true},
+		{"all", 4, stratAll, 0, true},
+		{"full", 4, stratAll, 0, true},
+		{"none", 4, stratNone, 0, true},
+		{"single", 4, stratNone, 0, true},
+		{"group:2", 4, stratGroup, 2, true},
+		{"GROUP:4", 4, stratGroup, 4, true},
+		{"group:3", 4, 0, 0, false}, // 3 does not divide 4
+		{"group:0", 4, 0, 0, false},
+		{"group:5", 4, 0, 0, false}, // k > nb
+		{"group:x", 4, 0, 0, false},
+		{"bogus", 4, 0, 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseStrategy(tc.in, tc.nb)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseStrategy(%q, %d): err = %v, want ok=%v", tc.in, tc.nb, err, tc.ok)
+			continue
+		}
+		if tc.ok && (got.kind != tc.kind || got.k != tc.k) {
+			t.Errorf("parseStrategy(%q, %d) = %+v", tc.in, tc.nb, got)
+		}
+	}
+}
+
+func TestReplicaSetsStrategies(t *testing.T) {
+	urls := []string{"http://a", "http://b", "http://c", "http://d"}
+	req := testBatch(8)
+
+	t.Run("all", func(t *testing.T) {
+		c := mustCluster(t, Config{Backends: urls, Strategy: "all"})
+		sets, err := c.replicaSets(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, set := range sets {
+			if len(set) != 4 {
+				t.Fatalf("item %d: |M_j| = %d, want 4", i, len(set))
+			}
+		}
+	})
+
+	t.Run("none", func(t *testing.T) {
+		c := mustCluster(t, Config{Backends: urls, Strategy: "none"})
+		sets, err := c.replicaSets(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for i, set := range sets {
+			if len(set) != 1 {
+				t.Fatalf("item %d: |M_j| = %d, want 1", i, len(set))
+			}
+			counts[set[0]]++
+		}
+		// Greedy least-load must spread 8 uniform-ish items over 4
+		// backends, not pile onto one.
+		for b, n := range counts {
+			if n > 4 {
+				t.Fatalf("backend %d took %d of 8 items", b, n)
+			}
+		}
+		// Determinism.
+		again, _ := c.replicaSets(req)
+		for i := range sets {
+			if sets[i][0] != again[i][0] {
+				t.Fatal("none strategy not deterministic")
+			}
+		}
+	})
+
+	t.Run("group", func(t *testing.T) {
+		c := mustCluster(t, Config{Backends: urls, Strategy: "group:2"})
+		sets, err := c.replicaSets(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, set := range sets {
+			if len(set) != 2 {
+				t.Fatalf("item %d: |M_j| = %d, want 2", i, len(set))
+			}
+			if !(set[0] == 0 && set[1] == 1) && !(set[0] == 2 && set[1] == 3) {
+				t.Fatalf("item %d: set %v is not a group", i, set)
+			}
+		}
+	})
+
+	t.Run("request-override", func(t *testing.T) {
+		c := mustCluster(t, Config{Backends: urls, Strategy: "all"})
+		r := testBatch(2)
+		r.Placement = &PlacementSpec{Replicas: [][]int{{0, 2}, {1}}}
+		sets, err := c.replicaSets(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sets[0]) != 2 || sets[0][0] != 0 || sets[0][1] != 2 || len(sets[1]) != 1 {
+			t.Fatalf("override ignored: %v", sets)
+		}
+		r.Placement = &PlacementSpec{Strategy: "none"}
+		sets, err = c.replicaSets(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sets[0]) != 1 {
+			t.Fatalf("strategy override ignored: %v", sets)
+		}
+	})
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := newBackend(0, "http://x", nil, breakerConfig{
+		Threshold:   2,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  300 * time.Millisecond,
+	})
+	t0 := time.Unix(1000, 0)
+	if b.state(t0) != breakerClosed {
+		t.Fatal("new backend not closed")
+	}
+	b.recordFailure(t0)
+	if b.state(t0) != breakerClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.recordFailure(t0)
+	if b.state(t0) != breakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.selectable(t0) {
+		t.Fatal("open breaker selectable")
+	}
+	// Window elapses -> half-open, selectable again.
+	t1 := t0.Add(150 * time.Millisecond)
+	if b.state(t1) != breakerHalfOpen || !b.selectable(t1) {
+		t.Fatal("breaker did not half-open after backoff")
+	}
+	// Failed trial doubles the window.
+	b.recordFailure(t1)
+	if b.state(t1) != breakerOpen {
+		t.Fatal("failed trial did not re-open")
+	}
+	if got := b.reopenAt(t1).Sub(t1); got != 200*time.Millisecond {
+		t.Fatalf("second window = %v, want 200ms", got)
+	}
+	// A straggling failure inside the window must not extend it.
+	b.recordFailure(t1.Add(50 * time.Millisecond))
+	if got := b.reopenAt(t1).Sub(t1); got != 200*time.Millisecond {
+		t.Fatalf("straggler extended window to %v", got)
+	}
+	// Another failed trial hits the cap.
+	t2 := t1.Add(250 * time.Millisecond)
+	b.recordFailure(t2)
+	if got := b.reopenAt(t2).Sub(t2); got != 300*time.Millisecond {
+		t.Fatalf("third window = %v, want capped 300ms", got)
+	}
+	// Success closes and resets.
+	b.recordSuccess()
+	if b.state(t2) != breakerClosed {
+		t.Fatal("success did not close breaker")
+	}
+	b.recordFailure(t2)
+	b.recordFailure(t2)
+	if got := b.reopenAt(t2).Sub(t2); got != 100*time.Millisecond {
+		t.Fatalf("backoff not reset after success: %v", got)
+	}
+}
+
+func TestDecodeBatchRejections(t *testing.T) {
+	c := mustCluster(t, Config{
+		Backends: []string{"http://a", "http://b", "http://c", "http://d"},
+		MaxBatch: 4, MaxTasks: 8, MaxMachines: 8,
+	})
+	item := `{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}}`
+	cases := []struct{ name, body string }{
+		{"invalid json", `{`},
+		{"trailing garbage", `{"requests":[` + item + `]}x`},
+		{"unknown field", `{"requests":[` + item + `],"bogus":1}`},
+		{"empty batch", `{"requests":[]}`},
+		{"too many items", `{"requests":[` + strings.Repeat(item+",", 4) + item + `]}`},
+		{"missing algorithm", `{"requests":[{"instance":{"m":1,"alpha":1,"estimates":[1]}}]}`},
+		{"missing instance", `{"requests":[{"algorithm":"oracle-lpt"}]}`},
+		{"invalid instance", `{"requests":[{"algorithm":"x","instance":{"m":0,"alpha":1,"estimates":[1]}}]}`},
+		{"too many tasks", `{"requests":[{"algorithm":"x","instance":{"m":1,"alpha":1,"estimates":[1,1,1,1,1,1,1,1,1]}}]}`},
+		{"too many machines", `{"requests":[{"algorithm":"x","instance":{"m":9,"alpha":1,"estimates":[1]}}]}`},
+		{"empty placement", `{"requests":[` + item + `],"placement":{}}`},
+		{"both strategy and replicas", `{"requests":[` + item + `],"placement":{"strategy":"all","replicas":[[0]]}}`},
+		{"bad strategy", `{"requests":[` + item + `],"placement":{"strategy":"group:3"}}`},
+		{"replica count mismatch", `{"requests":[` + item + `],"placement":{"replicas":[[0],[1]]}}`},
+		{"empty replica set", `{"requests":[` + item + `],"placement":{"replicas":[[]]}}`},
+		{"replica out of range", `{"requests":[` + item + `],"placement":{"replicas":[[7]]}}`},
+		{"replica unsorted", `{"requests":[` + item + `],"placement":{"replicas":[[1,0]]}}`},
+		{"replica duplicate", `{"requests":[` + item + `],"placement":{"replicas":[[0,0]]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := c.DecodeBatch(strings.NewReader(tc.body)); err == nil {
+				t.Fatalf("accepted: %s", tc.body)
+			}
+		})
+	}
+	// And the valid shapes pass.
+	for _, body := range []string{
+		`{"requests":[` + item + `]}`,
+		`{"requests":[` + item + `],"placement":{"strategy":"group:2"}}`,
+		`{"requests":[` + item + `],"placement":{"replicas":[[0,3]]}}`,
+	} {
+		if _, err := c.DecodeBatch(strings.NewReader(body)); err != nil {
+			t.Fatalf("rejected valid body %s: %v", body, err)
+		}
+	}
+}
+
+func TestRunBatchAgainstLiveBackends(t *testing.T) {
+	_, urls := newTestBackends(t, 2, serve.Config{})
+	c := mustCluster(t, Config{Backends: urls, DisableHedging: true})
+	req := testBatch(6)
+	resp, err := c.RunBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 6 {
+		t.Fatalf("%d results", len(resp.Results))
+	}
+	s := serve.New(serve.Config{})
+	for i, item := range resp.Results {
+		if item.Index != i || item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+		// The proxied response must be byte-identical to a direct
+		// library run of the same request.
+		want, err := s.RunSchedule(&req.Requests[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBytes, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, item.Response); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(compact.Bytes(), wantBytes) {
+			t.Fatalf("item %d response differs from direct execution", i)
+		}
+	}
+}
+
+func TestItemErrorMatchesDirectError(t *testing.T) {
+	_, urls := newTestBackends(t, 2, serve.Config{})
+	c := mustCluster(t, Config{Backends: urls, DisableHedging: true})
+	req := testBatch(2)
+	req.Requests[1].Algorithm = "ls-group:7" // 7 never divides m=4
+	resp, err := c.RunBatch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("item 0 failed: %s", resp.Results[0].Error)
+	}
+	s := serve.New(serve.Config{})
+	_, wantErr := s.RunSchedule(&req.Requests[1])
+	if wantErr == nil {
+		t.Fatal("expected direct error")
+	}
+	if resp.Results[1].Error != wantErr.Error() {
+		t.Fatalf("proxied error %q != direct %q", resp.Results[1].Error, wantErr.Error())
+	}
+}
+
+func TestRedispatchAroundDeadBackend(t *testing.T) {
+	bs, urls := newTestBackends(t, 2, serve.Config{})
+	bs[0].down.Store(true) // dead from the start
+	c := mustCluster(t, Config{
+		Backends:           urls,
+		DisableHedging:     true,
+		BreakerThreshold:   1,
+		BreakerBaseBackoff: 10 * time.Millisecond,
+		RequestTimeout:     10 * time.Second,
+	})
+	before := mRedispatch.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := c.RunBatch(ctx, testBatch(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range resp.Results {
+		if item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d lost despite live replica: %+v", i, item)
+		}
+	}
+	if mRedispatch.Load() == before {
+		t.Fatal("no re-dispatch recorded despite a dead backend")
+	}
+	if got := bs[0].executions(); len(got) != 0 {
+		t.Fatalf("dead backend executed items: %v", got)
+	}
+}
+
+func TestHedgeWinsAgainstSlowBackend(t *testing.T) {
+	bs, urls := newTestBackends(t, 2, serve.Config{})
+	bs[0].delay.Store(int64(400 * time.Millisecond)) // slow primary
+	c := mustCluster(t, Config{
+		Backends:      urls,
+		HedgeMinDelay: 5 * time.Millisecond,
+	})
+	beforeFired, beforeWon := mHedges.Load(), mHedgeWins.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req := testBatch(1)
+	resp, err := c.RunBatch(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" || resp.Results[0].Response == nil {
+		t.Fatalf("hedged item failed: %+v", resp.Results[0])
+	}
+	if mHedges.Load() == beforeFired {
+		t.Fatal("no hedge fired against a 400ms backend with a 5ms delay")
+	}
+	if mHedgeWins.Load() == beforeWon {
+		t.Fatal("hedge did not win against a 400ms primary")
+	}
+}
+
+func TestHonors429RetryAfter(t *testing.T) {
+	// A backend that throttles the first two attempts, then serves.
+	var calls atomic.Int64
+	inner := serve.New(serve.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/schedule" && calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"saturated"}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := mustCluster(t, Config{Backends: []string{ts.URL}, DisableHedging: true})
+	before := mRetry429.Load()
+	resp, err := c.RunBatch(context.Background(), testBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error != "" {
+		t.Fatalf("throttled item not retried: %+v", resp.Results[0])
+	}
+	if mRetry429.Load()-before < 2 {
+		t.Fatalf("retries_429 delta = %d, want >= 2", mRetry429.Load()-before)
+	}
+}
+
+func TestNoLiveReplicaTimesOut(t *testing.T) {
+	bs, urls := newTestBackends(t, 2, serve.Config{})
+	bs[0].down.Store(true)
+	bs[1].down.Store(true)
+	c := mustCluster(t, Config{
+		Backends:           urls,
+		DisableHedging:     true,
+		BreakerThreshold:   1,
+		BreakerBaseBackoff: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	resp, err := c.RunBatch(ctx, testBatch(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Error == "" {
+		t.Fatal("item succeeded with every replica dead")
+	}
+}
+
+func TestHealthzAndMetricsEndpoints(t *testing.T) {
+	bs, urls := newTestBackends(t, 2, serve.Config{})
+	c := mustCluster(t, Config{
+		Backends:           urls,
+		DisableHedging:     true,
+		BreakerThreshold:   1,
+		BreakerBaseBackoff: time.Minute,
+	})
+	front := httptest.NewServer(c.Handler())
+	t.Cleanup(front.Close)
+
+	// Run traffic so per-backend gauges exist, with one backend dead so
+	// the breaker view is interesting.
+	bs[1].down.Store(true)
+	body, _ := json.Marshal(testBatch(4))
+	resp, err := http.Post(front.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(health.Backends) != 2 {
+		t.Fatalf("healthz lists %d backends", len(health.Backends))
+	}
+	if health.Backends[1].Breaker != "open" {
+		t.Fatalf("dead backend breaker %q, want open", health.Backends[1].Breaker)
+	}
+
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := new(bytes.Buffer)
+	if _, err := data.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, name := range []string{
+		"cluster.backend.0.inflight", "cluster.backend.0.breaker",
+		"cluster.hedges_fired", "cluster.hedge_wins",
+		"cluster.redispatches", "cluster.items_total",
+	} {
+		if !strings.Contains(data.String(), name) {
+			t.Fatalf("/metrics missing %s:\n%s", name, data.String())
+		}
+	}
+}
+
+func TestProbeReadmitsRestartedBackend(t *testing.T) {
+	bs, urls := newTestBackends(t, 1, serve.Config{})
+	c := mustCluster(t, Config{
+		Backends:           urls,
+		DisableHedging:     true,
+		BreakerThreshold:   1,
+		BreakerBaseBackoff: time.Hour, // only a probe can close it in time
+		ProbeInterval:      5 * time.Millisecond,
+	})
+	c.Start()
+	bs[0].down.Store(true)
+	c.backends[0].recordFailure(time.Now())
+	c.backends[0].recordFailure(time.Now())
+	if c.backends[0].state(time.Now()) != breakerOpen {
+		t.Fatal("breaker not open")
+	}
+	bs[0].down.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.backends[0].state(time.Now()) != breakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never closed the breaker of a recovered backend")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLatencyWindowQuantile(t *testing.T) {
+	w := newLatencyWindow(4)
+	if got := w.quantile(0.9); got != 0 {
+		t.Fatalf("empty window quantile = %v", got)
+	}
+	for _, ms := range []int{10, 20, 30, 40} {
+		w.observe(time.Duration(ms) * time.Millisecond)
+	}
+	q := w.quantile(1.0)
+	if q != 40*time.Millisecond {
+		t.Fatalf("max quantile = %v, want 40ms", q)
+	}
+	// The ring wraps: a fifth observation evicts the first.
+	w.observe(50 * time.Millisecond)
+	if q := w.quantile(1.0); q != 50*time.Millisecond {
+		t.Fatalf("post-wrap max = %v, want 50ms", q)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"1":   time.Second,
+		"0":   0,
+		"":    0,
+		"x":   0,
+		"-5":  0,
+		" 2 ": 2 * time.Second,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

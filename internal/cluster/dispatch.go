@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// ItemHeader carries the batch index of a dispatched item to the
+// backend. Purely observational (chaos tests use it to count
+// executions per item); schedd ignores unknown headers.
+const ItemHeader = "X-Cluster-Item"
+
+// outcome kinds of one dispatch attempt.
+const (
+	oOK         = iota // 200: body is the response
+	oItemErr           // deterministic 4xx: the item itself is bad
+	oThrottled         // 429: honor Retry-After
+	oBackendErr        // 5xx: the backend is unhealthy
+	oTransport         // connection-level failure
+	oCancelled         // outer context done
+)
+
+type outcome struct {
+	kind       int
+	backendID  int
+	body       []byte
+	errMsg     string
+	retryAfter time.Duration
+	err        error
+}
+
+// RunBatch dispatches every item of a validated batch across the
+// backend pool and returns the results in input order. Items are
+// fanned out under par.MapCtx; each item independently walks its
+// replica set with hedging, breaker checks, and re-dispatch until it
+// succeeds, deterministically fails, or ctx expires.
+func (c *Cluster) RunBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	sets, err := c.replicaSets(req)
+	if err != nil {
+		return nil, err
+	}
+	type slot struct {
+		done bool
+		item Item
+	}
+	outs, ctxErr := par.MapCtx(ctx, len(req.Requests), c.cfg.Workers, func(i int) slot {
+		return slot{done: true, item: c.dispatchItem(ctx, i, &req.Requests[i], sets[i])}
+	})
+	resp := &BatchResponse{Results: make([]Item, len(outs))}
+	for i, s := range outs {
+		if !s.done {
+			// Never dispatched: the deadline beat the fan-out.
+			if ctxErr == nil {
+				ctxErr = context.DeadlineExceeded
+			}
+			resp.Results[i] = Item{Index: i, Error: "cancelled: " + ctxErr.Error()}
+			continue
+		}
+		resp.Results[i] = s.item
+	}
+	return resp, nil
+}
+
+// dispatchItem runs one item to completion: pick the least-loaded
+// selectable replica, attempt (with hedging), and on backend failure
+// re-dispatch to another member of the replica set. It gives up only
+// on a deterministic item error or when ctx expires — mirroring
+// sim.RunWithFailures, where a task is lost solely when its whole
+// replica set is dead.
+func (c *Cluster) dispatchItem(ctx context.Context, idx int, req *serve.ScheduleRequest, set []int) Item {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Item{Index: idx, Error: err.Error()}
+	}
+	mItems.Inc()
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			return Item{Index: idx, Error: "cancelled: " + ctx.Err().Error()}
+		}
+		primary := c.pick(set, -1, time.Now())
+		if primary == nil {
+			// Whole replica set unavailable: wait for the earliest
+			// breaker to half-open, then retry. A permanent loss
+			// surfaces as ctx expiry here.
+			if !sleepCtx(ctx, c.reopenDelay(set, time.Now())) {
+				return Item{Index: idx, Error: errNoBackend.Error() +
+					": all of " + fmtSet(set) + " unavailable: " + ctx.Err().Error()}
+			}
+			continue
+		}
+		if attempt > 0 {
+			mRedispatch.Inc()
+		}
+		out := c.runReplicas(ctx, idx, body, set, primary)
+		switch out.kind {
+		case oOK:
+			return Item{Index: idx, Response: json.RawMessage(out.body)}
+		case oItemErr:
+			return Item{Index: idx, Error: out.errMsg}
+		case oThrottled:
+			mRetry429.Inc()
+			d := out.retryAfter
+			if d <= 0 {
+				d = 100 * time.Millisecond
+			}
+			if d > c.cfg.RetryAfterCap {
+				d = c.cfg.RetryAfterCap
+			}
+			if !sleepCtx(ctx, d) {
+				return Item{Index: idx, Error: "cancelled: " + ctx.Err().Error()}
+			}
+		case oCancelled:
+			return Item{Index: idx, Error: "cancelled: " + ctx.Err().Error()}
+			// oBackendErr/oTransport: loop re-dispatches.
+		}
+	}
+}
+
+// runReplicas performs one attempt of an item: the primary dispatch,
+// plus up to MaxHedges duplicates fired after the quantile hedge
+// delay. The first decisive outcome (success or deterministic item
+// error) wins and cancels the duplicates via cctx; backend failures
+// are decisive only once every launched replica has failed.
+func (c *Cluster) runReplicas(ctx context.Context, idx int, body []byte, set []int, primary *backend) outcome {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan outcome, 1+c.cfg.MaxHedges)
+	go c.send(cctx, primary, idx, body, ch)
+	outstanding := 1
+	hedged := map[int]bool{}
+	used := primary.id
+
+	var hedgeC <-chan time.Time
+	hedgesLeft := 0
+	if !c.cfg.DisableHedging && len(set) > 1 {
+		hedgesLeft = c.cfg.MaxHedges
+		t := time.NewTimer(c.hedgeDelay())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var last outcome
+	for {
+		select {
+		case out := <-ch:
+			outstanding--
+			switch out.kind {
+			case oOK:
+				c.backends[out.backendID].recordSuccess()
+				if hedged[out.backendID] {
+					mHedgeWins.Inc()
+				}
+				return out
+			case oItemErr:
+				// The backend answered authoritatively; it is healthy
+				// and the item is bad everywhere.
+				c.backends[out.backendID].recordSuccess()
+				return out
+			case oThrottled:
+				last = out
+			case oBackendErr, oTransport:
+				c.backends[out.backendID].recordFailure(time.Now())
+				if last.kind != oThrottled {
+					last = out
+				}
+			}
+			if outstanding == 0 {
+				return last
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if hedgesLeft > 0 {
+				if hb := c.pick(set, used, time.Now()); hb != nil {
+					hedged[hb.id] = true
+					hedgesLeft--
+					outstanding++
+					mHedges.Inc()
+					go c.send(cctx, hb, idx, body, ch)
+				}
+			}
+		case <-ctx.Done():
+			return outcome{kind: oCancelled}
+		}
+	}
+}
+
+// send posts one item to one backend and classifies the result.
+func (c *Cluster) send(ctx context.Context, b *backend, idx int, body []byte, ch chan<- outcome) {
+	b.inflight.Add(1)
+	b.gInflight.Inc()
+	defer func() {
+		b.inflight.Add(-1)
+		b.gInflight.Dec()
+	}()
+	mDispatches.Inc()
+
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		ch <- outcome{kind: oTransport, backendID: b.id, err: err}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ItemHeader, strconv.Itoa(idx))
+	resp, err := b.client.Do(req)
+	if err != nil {
+		ch <- outcome{kind: oTransport, backendID: b.id, err: err}
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		ch <- outcome{kind: oTransport, backendID: b.id, err: err}
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		c.lat.observe(time.Since(start))
+		ch <- outcome{kind: oOK, backendID: b.id, body: data}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ch <- outcome{kind: oThrottled, backendID: b.id,
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+	case resp.StatusCode >= 500:
+		ch <- outcome{kind: oBackendErr, backendID: b.id}
+	default:
+		// Deterministic 4xx: surface the backend's error envelope
+		// verbatim so proxied errors match direct ones.
+		msg := strings.TrimSpace(string(data))
+		var e serve.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		ch <- outcome{kind: oItemErr, backendID: b.id, errMsg: msg}
+	}
+}
+
+// pick returns the selectable replica-set member with the fewest
+// in-flight dispatches (ties to the lowest id), skipping the exclude
+// id; nil when every member's breaker is open.
+func (c *Cluster) pick(set []int, exclude int, now time.Time) *backend {
+	var best *backend
+	for _, i := range set {
+		b := c.backends[i]
+		if b.id == exclude || !b.selectable(now) {
+			continue
+		}
+		if best == nil || b.inflight.Load() < best.inflight.Load() {
+			best = b
+		}
+	}
+	return best
+}
+
+// reopenDelay returns how long to wait before some member of the set
+// becomes selectable again, clamped to keep the retry loop responsive
+// to restarts the breaker horizon does not know about.
+func (c *Cluster) reopenDelay(set []int, now time.Time) time.Duration {
+	const floor, ceil = time.Millisecond, 100 * time.Millisecond
+	d := ceil
+	for _, i := range set {
+		if at := c.backends[i].reopenAt(now); !at.IsZero() {
+			if until := at.Sub(now); until < d {
+				d = until
+			}
+		}
+	}
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// hedgeDelay derives the duplicate-dispatch delay from the observed
+// latency distribution: the configured quantile of recent successful
+// dispatches, clamped to [HedgeMinDelay, HedgeMaxDelay].
+func (c *Cluster) hedgeDelay() time.Duration {
+	d := c.lat.quantile(c.cfg.HedgeQuantile)
+	if d < c.cfg.HedgeMinDelay {
+		d = c.cfg.HedgeMinDelay
+	}
+	if d > c.cfg.HedgeMaxDelay {
+		d = c.cfg.HedgeMaxDelay
+	}
+	return d
+}
+
+// latencyWindow is a fixed-size ring of recent successful dispatch
+// latencies feeding the hedge-delay quantile.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []float64 // seconds
+	next int
+	full bool
+}
+
+func newLatencyWindow(size int) *latencyWindow {
+	return &latencyWindow{buf: make([]float64, size)}
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = d.Seconds()
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// quantile returns the q-quantile of the window, or 0 with no
+// observations yet (the caller's MinDelay floor covers cold starts).
+func (w *latencyWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.buf)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, w.buf[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(sorted)
+	return time.Duration(stats.Quantile(sorted, q) * float64(time.Second))
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value; anything
+// unparsable yields 0 and the caller's default applies.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func fmtSet(set []int) string {
+	parts := make([]string, len(set))
+	for i, v := range set {
+		parts[i] = strconv.Itoa(v)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/placement"
+	"repro/internal/serve"
+)
+
+// Strategy kinds, mirroring the paper's phase-1 menu with backends
+// standing in for machines.
+const (
+	stratAll = iota // replicate everywhere (|M_j| = m)
+	stratNone
+	stratGroup // group replication (|M_j| = m/k)
+)
+
+type strategy struct {
+	kind int
+	k    int // group count for stratGroup
+}
+
+// parseStrategy resolves a strategy name against nb backends. The
+// empty string selects full replication — robustness is the point of
+// the proxy, so it is the default.
+func parseStrategy(s string, nb int) (strategy, error) {
+	switch name := strings.ToLower(strings.TrimSpace(s)); {
+	case name == "" || name == "all" || name == "full":
+		return strategy{kind: stratAll}, nil
+	case name == "none" || name == "single":
+		return strategy{kind: stratNone}, nil
+	case strings.HasPrefix(name, "group:"):
+		k, err := strconv.Atoi(name[len("group:"):])
+		if err != nil {
+			return strategy{}, fmt.Errorf("cluster: bad group count in strategy %q", s)
+		}
+		// PartitionGroups enforces 1 ≤ k ≤ nb and k | nb; run it once
+		// here so misconfiguration fails at startup, not mid-batch.
+		if _, err := placement.PartitionGroups(nb, k); err != nil {
+			return strategy{}, err
+		}
+		return strategy{kind: stratGroup, k: k}, nil
+	default:
+		return strategy{}, fmt.Errorf("cluster: unknown strategy %q (want none, all, or group:k)", s)
+	}
+}
+
+// replicaSets computes the phase-1 placement of a batch over the
+// backend pool: Sets[i] lists the backends allowed to run item i. An
+// explicit request override wins, then a request strategy, then the
+// configured default. The computation is deterministic (greedy least
+// estimated load, ties to the lowest index) so identical batches place
+// identically — the metamorphic tests rely on it.
+func (c *Cluster) replicaSets(req *BatchRequest) ([][]int, error) {
+	n := len(req.Requests)
+	nb := len(c.backends)
+	strat := c.strat
+	if req.Placement != nil {
+		if req.Placement.Replicas != nil {
+			// Re-validate: RunBatch is also a library entry point, so it
+			// cannot assume DecodeBatch ran.
+			if len(req.Placement.Replicas) != n {
+				return nil, fmt.Errorf("placement: %d replica sets for %d items", len(req.Placement.Replicas), n)
+			}
+			if err := placement.CheckSets(req.Placement.Replicas, nb); err != nil {
+				return nil, err
+			}
+			return req.Placement.Replicas, nil
+		}
+		if req.Placement.Strategy != "" {
+			var err error
+			if strat, err = parseStrategy(req.Placement.Strategy, nb); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	p := placement.New(n, nb)
+	switch strat.kind {
+	case stratAll:
+		p = placement.Everywhere(n, nb)
+	case stratNone:
+		// Greedy least-estimated-load: the semi-clairvoyant analogue of
+		// the paper's no-replication placement, using the only cost
+		// signal available before execution.
+		loads := make([]float64, nb)
+		for i := range req.Requests {
+			best := argminLoad(loads)
+			p.Assign(i, best)
+			loads[best] += itemEstimate(&req.Requests[i])
+		}
+	case stratGroup:
+		groups, err := placement.PartitionGroups(nb, strat.k)
+		if err != nil {
+			return nil, err
+		}
+		p.Groups = groups
+		p.GroupOf = make([]int, n)
+		loads := make([]float64, strat.k)
+		for i := range req.Requests {
+			g := argminLoad(loads)
+			p.GroupOf[i] = g
+			p.AssignSet(i, groups[g])
+			loads[g] += itemEstimate(&req.Requests[i])
+		}
+	}
+	if err := placement.CheckSets(p.Sets, nb); err != nil {
+		// Structural bug in the strategy code, not user input.
+		return nil, fmt.Errorf("cluster: internal placement invalid: %w", err)
+	}
+	return p.Sets, nil
+}
+
+// itemEstimate is the uncertain cost estimate of one work item: the
+// summed estimated processing time of its instance. Actual cost is
+// revealed only when a backend finishes the item — the cluster-level
+// semi-clairvoyant model.
+func itemEstimate(r *serve.ScheduleRequest) float64 {
+	if r.Instance == nil {
+		return 0
+	}
+	return r.Instance.TotalEstimate()
+}
+
+func argminLoad(loads []float64) int {
+	best := 0
+	for i, l := range loads {
+		if l < loads[best] {
+			best = i
+		}
+	}
+	return best
+}

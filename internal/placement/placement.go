@@ -141,6 +141,30 @@ func (p *Placement) EstimatedLoads(in *task.Instance) []float64 {
 	return loads
 }
 
+// CheckSets validates a slice of replica sets against a machine count
+// m, independently of any instance: every set must be non-empty,
+// reference only machines in [0, m), and be strictly ascending (sorted
+// with no duplicates). It is the shared structural check behind
+// Validate and external consumers of phase-1 replica sets — notably
+// the cluster dispatcher, which reuses the same set shape with
+// backends standing in for machines.
+func CheckSets(sets [][]int, m int) error {
+	for j, set := range sets {
+		if len(set) == 0 {
+			return fmt.Errorf("%w: task %d", ErrEmptySet, j)
+		}
+		for idx, i := range set {
+			if i < 0 || i >= m {
+				return fmt.Errorf("%w: task %d machine %d", ErrBadMachine, j, i)
+			}
+			if idx > 0 && set[idx-1] >= i {
+				return fmt.Errorf("%w: task %d", ErrUnsorted, j)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate checks structural soundness against the instance: one set
 // per task, sets non-empty, machine indices valid, sets sorted and
 // duplicate-free, and group bookkeeping consistent when present.
@@ -149,18 +173,8 @@ func (p *Placement) Validate(in *task.Instance) error {
 		return fmt.Errorf("%w: placement %dx%d vs instance %dx%d",
 			ErrShape, len(p.Sets), p.M, in.N(), in.M)
 	}
-	for j, set := range p.Sets {
-		if len(set) == 0 {
-			return fmt.Errorf("%w: task %d", ErrEmptySet, j)
-		}
-		for idx, i := range set {
-			if i < 0 || i >= p.M {
-				return fmt.Errorf("%w: task %d machine %d", ErrBadMachine, j, i)
-			}
-			if idx > 0 && set[idx-1] >= i {
-				return fmt.Errorf("%w: task %d", ErrUnsorted, j)
-			}
-		}
+	if err := CheckSets(p.Sets, p.M); err != nil {
+		return err
 	}
 	if p.Groups != nil {
 		if err := p.validateGroups(); err != nil {

@@ -256,3 +256,54 @@ func TestPartitionGroupsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestCheckSets exercises the raw-set validator the cluster layer uses
+// for replica sets over backends (no Placement struct involved).
+func TestCheckSets(t *testing.T) {
+	cases := []struct {
+		name string
+		sets [][]int
+		m    int
+		want error
+	}{
+		{"valid", [][]int{{0, 2}, {1}, {0, 1, 2}}, 3, nil},
+		{"empty list", [][]int{}, 3, nil},
+		{"empty set", [][]int{{0}, {}}, 3, ErrEmptySet},
+		{"negative machine", [][]int{{-1}}, 3, ErrBadMachine},
+		{"machine at m", [][]int{{3}}, 3, ErrBadMachine},
+		{"unsorted", [][]int{{2, 1}}, 3, ErrUnsorted},
+		{"duplicate", [][]int{{1, 1}}, 3, ErrUnsorted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckSets(tc.sets, tc.m)
+			if tc.want == nil && err != nil {
+				t.Fatalf("CheckSets = %v, want nil", err)
+			}
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("CheckSets = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckSetsAgreesWithValidate: any placement Validate accepts,
+// CheckSets accepts on the raw sets, and vice versa (same m, matching
+// lengths).
+func TestCheckSetsAgreesWithValidate(t *testing.T) {
+	in := inst(t, 4, 3)
+	p := Everywhere(4, 3)
+	if err := p.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSets(p.Sets, 3); err != nil {
+		t.Fatalf("Validate accepted but CheckSets rejected: %v", err)
+	}
+	p.Sets[2] = []int{2, 0}
+	if CheckSets(p.Sets, 3) == nil {
+		t.Fatal("CheckSets accepted unsorted set")
+	}
+	if p.Validate(in) == nil {
+		t.Fatal("Validate accepted unsorted set")
+	}
+}

@@ -26,6 +26,11 @@ func FuzzDecodeInstance(f *testing.F) {
 	f.Add([]byte(`{"algorithm":"x","instance":{"m":1,"alpha":1,"estimates":[1]}}trailing`))
 	f.Add([]byte(`{"algorithm":"x","unknown_field":1}`))
 	f.Add([]byte(`{`))
+	// Placement-bearing payloads: cluster-level fields must bounce off
+	// the strict decoder, never leak into a schedule request.
+	f.Add([]byte(`{"algorithm":"lpt-norestriction","instance":{"m":3,"alpha":1.5,"estimates":[4,2,6,1,5]},"placement":{"strategy":"group:2"}}`))
+	f.Add([]byte(`{"algorithm":"oracle-lpt","instance":{"m":2,"alpha":1,"estimates":[1,2]},"placement":{"replicas":[[0,1],[1]]}}`))
+	f.Add([]byte(`{"algorithm":"sabo","instance":{"m":4,"alpha":1.5,"estimates":[4,2,6,1],"sizes":[2,8,1,3]}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s := New(Config{MaxTasks: 256, MaxMachines: 64})
 		req, err := s.decodeScheduleRequest(bytes.NewReader(data))

@@ -109,21 +109,34 @@ type AlgorithmsResponse struct {
 	Algorithms []string `json:"algorithms"`
 }
 
-type healthResponse struct {
+// HealthResponse is the /healthz payload. Exported so HTTP clients of
+// the daemon (the cluster dispatcher's health prober, ops tooling) can
+// decode probes with the server's own type.
+type HealthResponse struct {
 	Status        string `json:"status"`
 	Inflight      int64  `json:"inflight"`
 	MaxInflight   int    `json:"max_inflight"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
 }
 
-type errorResponse struct {
+type healthResponse = HealthResponse
+
+// ErrorResponse is the JSON error envelope every non-2xx answer
+// carries. Exported for clients that surface backend errors verbatim
+// (the cluster dispatcher relies on this to keep batch items
+// byte-identical whether they pass through a proxy or not).
+type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// decodeStrict decodes exactly one JSON value from r into v,
+type errorResponse = ErrorResponse
+
+// DecodeStrict decodes exactly one JSON value from r into v,
 // rejecting unknown fields and trailing garbage. It is the single
-// entry point for every request body (and the fuzzing surface).
-func decodeStrict(r io.Reader, v interface{}) error {
+// entry point for every request body (and the fuzzing surface), and is
+// exported so sibling services (the cluster dispatcher) share the same
+// decoding discipline.
+func DecodeStrict(r io.Reader, v interface{}) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -157,7 +170,7 @@ func (s *Server) checkInstance(in *task.Instance) error {
 // body. Anything it accepts is safe to hand to the solvers.
 func (s *Server) decodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
 	var req ScheduleRequest
-	if err := decodeStrict(r, &req); err != nil {
+	if err := DecodeStrict(r, &req); err != nil {
 		return nil, err
 	}
 	if req.Algorithm == "" {
@@ -172,7 +185,7 @@ func (s *Server) decodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
 // decodeSimulateRequest decodes and validates a /v1/simulate body.
 func (s *Server) decodeSimulateRequest(r io.Reader) (*SimulateRequest, error) {
 	var req SimulateRequest
-	if err := decodeStrict(r, &req); err != nil {
+	if err := DecodeStrict(r, &req); err != nil {
 		return nil, err
 	}
 	if req.Algorithm == "" {
@@ -188,7 +201,7 @@ func (s *Server) decodeSimulateRequest(r io.Reader) (*SimulateRequest, error) {
 // item, so a batch either starts fully-validated or not at all.
 func (s *Server) decodeBatchRequest(r io.Reader) (*BatchRequest, error) {
 	var req BatchRequest
-	if err := decodeStrict(r, &req); err != nil {
+	if err := DecodeStrict(r, &req); err != nil {
 		return nil, err
 	}
 	if len(req.Requests) == 0 {
