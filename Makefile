@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check cover bench figs fuzz stress chaos clean
+.PHONY: all build test race lint check cover bench figs fuzz stress chaos clean
 
 all: build test
 
@@ -15,20 +15,35 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-test every package so new packages are covered by default;
+# -shuffle=on randomizes test (and subtest) execution order to flush
+# inter-test order dependence the static analyzers cannot see.
 race:
-	$(GO) test -race ./internal/par/ ./internal/sim/ ./internal/opt/ ./internal/obs/ ./internal/experiments/ ./internal/serve/ ./internal/cluster/ ./cmd/schedd/ ./cmd/clusterd/
+	$(GO) test -race -shuffle=on ./...
 
-# Full gate: what CI runs. Vet, build, the whole test suite under the
-# race detector, the cluster chaos layer, and the internal/cluster
-# coverage floor.
+# The repo-native static-analysis suite (see LINTING.md): determinism,
+# map-order, seed-discipline, ctx-flow, err-drop, obs-names. Any
+# unsuppressed diagnostic fails the build.
+lint:
+	$(GO) run ./cmd/uncertlint ./...
+
+# Full gate: what CI runs. Vet, build, uncertlint, the whole test
+# suite under the race detector with shuffled order, the cluster chaos
+# layer, and the per-package coverage floors.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) run ./cmd/uncertlint ./...
+	$(GO) test -race -shuffle=on ./...
 	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 ./internal/cluster/
 	$(GO) test -coverprofile=cluster.cov ./internal/cluster/
 	@pct=$$($(GO) tool cover -func=cluster.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/cluster coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
+	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
+	$(GO) test -coverprofile=lint.cov ./internal/lint/
+	@pct=$$($(GO) tool cover -func=lint.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/lint coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
 	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
 
@@ -60,5 +75,5 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 -v ./internal/cluster/
 
 clean:
-	rm -rf out/ cluster.cov
+	rm -rf out/ cluster.cov lint.cov
 	$(GO) clean -testcache

@@ -127,7 +127,7 @@ func run(ctx context.Context, addr string, cfg cluster.Config, drain time.Durati
 	if err != nil {
 		return err
 	}
-	c.Start()
+	c.Start(ctx)
 	defer c.Close()
 
 	ln, err := net.Listen("tcp", addr)
@@ -151,7 +151,9 @@ func run(ctx context.Context, addr string, cfg cluster.Config, drain time.Durati
 	case <-ctx.Done():
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	// Detach from the cancelled signal context but keep its values:
+	// the drain window must outlive the trigger that started it.
+	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -59,7 +59,9 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: cpuprofile:", err)
+			}
 		}()
 	}
 
@@ -72,7 +74,9 @@ func main() {
 			if werr := pprof.WriteHeapProfile(f); werr != nil {
 				fmt.Fprintln(os.Stderr, "paperfigs: memprofile:", werr)
 			}
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "paperfigs: memprofile:", cerr)
+			}
 		} else {
 			fmt.Fprintln(os.Stderr, "paperfigs: memprofile:", ferr)
 		}
@@ -128,6 +132,7 @@ func run(exp, outDir string, opts experiments.Options) error {
 	}
 	results := par.Map(len(list), opts.Workers, func(i int) rendered {
 		var buf strings.Builder
+		//lint:ignore obsnames experiment IDs are a fixed compile-time set, so one timer per experiment stays bounded
 		defer obs.GetTimer("experiment." + list[i].ID()).Start()()
 		err := list[i].Run(&buf, opts)
 		return rendered{report: []byte(buf.String()), err: err}

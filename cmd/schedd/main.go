@@ -106,7 +106,9 @@ func run(ctx context.Context, addr string, cfg serve.Config, drain time.Duration
 	case <-ctx.Done():
 	}
 
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	// Detach from the cancelled signal context but keep its values:
+	// the drain window must outlive the trigger that started it.
+	shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

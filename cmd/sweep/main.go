@@ -73,7 +73,9 @@ func main() {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep: cpuprofile:", err)
+			}
 		}()
 	}
 
@@ -85,7 +87,9 @@ func main() {
 			if werr := pprof.WriteHeapProfile(f); werr != nil {
 				fmt.Fprintln(os.Stderr, "sweep: memprofile:", werr)
 			}
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "sweep: memprofile:", cerr)
+			}
 		} else {
 			fmt.Fprintln(os.Stderr, "sweep: memprofile:", ferr)
 		}

@@ -1,0 +1,106 @@
+// Command uncertlint runs the repo-native static-analysis suite from
+// internal/lint over the packages named on the command line and exits
+// non-zero on any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/uncertlint ./...
+//	go run ./cmd/uncertlint -rules determinism,seed ./internal/sim
+//
+// Patterns are directories relative to the working directory; a
+// trailing /... recurses. See LINTING.md for the rules and the
+// //lint:ignore suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("uncertlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.NewAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*rules, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "uncertlint: unknown rule %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "uncertlint:", err)
+		return 2
+	}
+	root, modPath, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "uncertlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// Patterns are given relative to the working directory but Load
+	// resolves them against the module root.
+	rel, err := filepath.Rel(root, cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "uncertlint:", err)
+		return 2
+	}
+	for i, p := range patterns {
+		patterns[i] = path.Join(filepath.ToSlash(rel), filepath.ToSlash(p))
+	}
+
+	pkgs, fset, err := lint.Load(lint.Config{Dir: root, ModulePath: modPath}, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "uncertlint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, fset, analyzers)
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "uncertlint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -54,9 +54,17 @@ func newBackend(id int, url string, client *http.Client, bcfg breakerConfig) *ba
 		url:       url,
 		client:    client,
 		bcfg:      bcfg,
-		gInflight: obs.GetGauge(fmt.Sprintf("cluster.backend.%d.inflight", id)),
-		gBreaker:  obs.GetGauge(fmt.Sprintf("cluster.backend.%d.breaker", id)),
+		gInflight: backendGauge(id, "inflight"),
+		gBreaker:  backendGauge(id, "breaker"),
 	}
+}
+
+// backendGauge returns the per-backend gauge cluster.backend.<id>.<kind>.
+// The name is computed, but its cardinality is bounded by the
+// configured pool size, which is fixed for the life of the process.
+func backendGauge(id int, kind string) *obs.Gauge {
+	//lint:ignore obsnames per-backend gauge names are bounded by the configured backend pool size
+	return obs.GetGauge(fmt.Sprintf("cluster.backend.%d.%s", id, kind))
 }
 
 // state reports the breaker position at now: closed while the

@@ -87,7 +87,7 @@ func TestChaosKillAndRestartMidBatch(t *testing.T) {
 		BreakerBaseBackoff: 5 * time.Millisecond,
 		ProbeInterval:      10 * time.Millisecond,
 	})
-	c.Start()
+	c.Start(context.Background())
 
 	const n = 60
 	req := chaosBatch(n)
@@ -127,7 +127,7 @@ func TestChaosRollingKills(t *testing.T) {
 		BreakerBaseBackoff: 5 * time.Millisecond,
 		ProbeInterval:      10 * time.Millisecond,
 	})
-	c.Start()
+	c.Start(context.Background())
 
 	const n = 60
 	var wg sync.WaitGroup
@@ -224,7 +224,7 @@ func TestChaosConcurrentBatches(t *testing.T) {
 		BreakerBaseBackoff: 5 * time.Millisecond,
 		ProbeInterval:      10 * time.Millisecond,
 	})
-	c.Start()
+	c.Start(context.Background())
 
 	stop := make(chan struct{})
 	var flap sync.WaitGroup

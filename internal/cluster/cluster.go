@@ -205,14 +205,15 @@ func (c *Cluster) Config() Config { return c.cfg }
 
 // Start launches one background health-probe loop per backend. Probes
 // close the breaker of a recovered backend without waiting for a live
-// dispatch to discover it. Stop with Close.
-func (c *Cluster) Start() {
+// dispatch to discover it. The probes stop when ctx is cancelled or
+// when Close is called, whichever comes first.
+func (c *Cluster) Start(ctx context.Context) {
 	c.probeMu.Lock()
 	defer c.probeMu.Unlock()
 	if c.probeStop != nil {
 		return
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	c.probeStop = cancel
 	for _, b := range c.backends {
 		b := b

@@ -594,7 +594,7 @@ func TestProbeReadmitsRestartedBackend(t *testing.T) {
 		BreakerBaseBackoff: time.Hour, // only a probe can close it in time
 		ProbeInterval:      5 * time.Millisecond,
 	})
-	c.Start()
+	c.Start(context.Background())
 	bs[0].down.Store(true)
 	c.backends[0].recordFailure(time.Now())
 	c.backends[0].recordFailure(time.Now())

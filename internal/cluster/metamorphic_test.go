@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -127,7 +128,7 @@ func TestMetamorphicPoolInvariance(t *testing.T) {
 			BreakerBaseBackoff: 5 * time.Millisecond,
 			ProbeInterval:      10 * time.Millisecond,
 		})
-		c.Start()
+		c.Start(context.Background())
 		front := httptest.NewServer(c.Handler())
 		t.Cleanup(front.Close)
 		if kill != nil {

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newCtxFlow builds the ctx-flow analyzer. Cancellation must flow
+// from the edge of the process down through every dispatch path: a
+// fresh context.Background() in library code detaches the work below
+// it from the caller's deadline, which is exactly how hedged requests
+// and health probes end up leaking after shutdown. The analyzer
+// flags:
+//
+//   - context.Background() or context.TODO() anywhere outside a main
+//     package (tests are not loaded, so they are exempt by
+//     construction);
+//   - in any package, main included: a function that already receives
+//     a context.Context yet passes Background/TODO to a callee — the
+//     caller's context must be threaded through instead.
+//
+// Go's type system makes the remaining ctx-flow mistake — calling a
+// context-accepting callee without any context — uncompilable, so
+// these two checks cover the dispatch paths end to end.
+func newCtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "forbid context.Background/TODO outside main; thread received contexts through",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Pass) {
+	info := p.Pkg.Info
+	isMain := p.Pkg.Name == "main"
+	p.inspectStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || funcPkgPath(fn) != "context" {
+			return true
+		}
+		name := fn.Name()
+		if name != "Background" && name != "TODO" {
+			return true
+		}
+		ctxInScope := false
+		for _, ft := range enclosingFuncs(stack) {
+			if funcHasCtxParam(info, ft) {
+				ctxInScope = true
+			}
+		}
+		switch {
+		case ctxInScope:
+			p.Reportf(n.Pos(), "context.%s discards the context this function already receives; thread the caller's ctx through", name)
+		case !isMain:
+			p.Reportf(n.Pos(), "context.%s outside package main: accept a context.Context from the caller instead", name)
+		}
+		return true
+	})
+}

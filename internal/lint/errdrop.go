@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newErrDrop builds the err-drop analyzer: a call whose error result
+// is silently discarded as a bare expression statement is forbidden in
+// non-test code (tests are not loaded). Explicitly assigning to the
+// blank identifier (`_ = f()`) remains legal — it is a visible,
+// reviewable statement of intent — as do `defer`/`go` statements,
+// whose results Go itself discards.
+//
+// Allowlisted as never-failing or best-effort by convention:
+// fmt.Print/Printf/Println/Fprint/Fprintf/Fprintln (diagnostic output;
+// render paths that must be durable return the error from their
+// enclosing function instead), and the Write* methods of
+// strings.Builder and bytes.Buffer, which are documented to always
+// return a nil error.
+func newErrDrop() *Analyzer {
+	return &Analyzer{
+		Name: "errdrop",
+		Doc:  "forbid silently discarded error returns in non-test code",
+		Run:  runErrDrop,
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrDrop(p *Pass) {
+	info := p.Pkg.Info
+	p.inspectStack(func(n ast.Node, _ []ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !returnsError(info, call) || errDropAllowed(info, call) {
+			return true
+		}
+		p.Reportf(stmt.Pos(), "unchecked error returned by %s", calleeLabel(info, call))
+		return true
+	})
+}
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+func errDropAllowed(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if funcPkgPath(fn) == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		rt := recv.Type()
+		if ptr, ok := rt.(*types.Pointer); ok {
+			rt = ptr.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				if full == "strings.Builder" || full == "bytes.Buffer" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return "(" + recv.Type().String() + ")." + fn.Name()
+		}
+		if fn.Pkg() != nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

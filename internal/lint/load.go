@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package as seen by the
+// analyzers. Test files (_test.go) are excluded by design: the
+// invariants uncertlint enforces are about code that produces paper
+// artifacts or serves traffic, and several rules (err-drop, ctx-flow)
+// explicitly exempt tests.
+type Package struct {
+	// Path is the import path ("repro/internal/sim", or a path
+	// relative to the load root for fixture trees).
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the absolute directory the files were read from.
+	Dir string
+	// Files holds the parsed files in filename order, so diagnostics
+	// come out in a deterministic order.
+	Files []*ast.File
+	// Types and Info are the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config controls Load.
+type Config struct {
+	// Dir is the root directory that import paths resolve under.
+	Dir string
+	// ModulePath is the module path declared in go.mod. Imports that
+	// equal it or start with it + "/" resolve to subdirectories of
+	// Dir. When empty, any import path whose corresponding directory
+	// exists under Dir resolves locally (used for testdata fixture
+	// trees, which have no go.mod).
+	ModulePath string
+}
+
+// stdImporter is the shared stdlib importer. go/importer's source
+// importer memoizes per instance and is tied to one FileSet, so the
+// engine shares a single instance (and FileSet) across every Load:
+// re-type-checking fmt and net/http from source once per fixture
+// would dominate the test suite's runtime. Cgo is disabled up front
+// so packages like net fall back to their pure-Go paths; uncertlint
+// only needs signatures, not a buildable binary.
+var (
+	stdOnce sync.Once
+	stdFset *token.FileSet
+	stdImp  types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	stdOnce.Do(func() {
+		build.Default.CgoEnabled = false
+		stdFset = token.NewFileSet()
+		stdImp = importer.ForCompiler(stdFset, "source", nil)
+	})
+	return stdFset, stdImp
+}
+
+// loader resolves and type-checks repo-local packages, delegating
+// everything else to the stdlib source importer.
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks the packages matched by patterns, which
+// are directory paths relative to cfg.Dir; a trailing "/..." matches
+// the directory and everything below it (skipping testdata, vendor,
+// hidden directories, and out/). The returned packages are sorted by
+// import path and share the returned FileSet.
+func Load(cfg Config, patterns ...string) ([]*Package, *token.FileSet, error) {
+	fset, std := sharedImporter()
+	abs, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Dir = abs
+	l := &loader{
+		cfg:     cfg,
+		fset:    fset,
+		std:     std,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	var dirs []string
+	for _, p := range patterns {
+		d, err := l.expand(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		dirs = append(dirs, d...)
+	}
+	if len(dirs) == 0 {
+		return nil, nil, fmt.Errorf("lint: no packages match %v under %s", patterns, cfg.Dir)
+	}
+	var out []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		path := l.pathForDir(dir)
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, fset, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod
+// and returns it together with the declared module path.
+func FindModuleRoot(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// expand resolves one pattern to package directories.
+func (l *loader) expand(pattern string) ([]string, error) {
+	recursive := false
+	p := pattern
+	if p == "..." {
+		recursive, p = true, "."
+	} else if rest, ok := strings.CutSuffix(p, "/..."); ok {
+		recursive = true
+		p = rest
+		if p == "" {
+			p = "."
+		}
+	}
+	base := filepath.Join(l.cfg.Dir, filepath.FromSlash(p))
+	fi, err := os.Stat(base)
+	if err != nil {
+		return nil, fmt.Errorf("lint: pattern %q: %w", pattern, err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("lint: pattern %q is not a directory", pattern)
+	}
+	if !recursive {
+		if !hasGoFiles(base) {
+			return nil, fmt.Errorf("lint: no non-test Go files in %s", base)
+		}
+		return []string{base}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor" || name == "out") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if goSource(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".")
+}
+
+// pathForDir maps an absolute directory under the root to its import
+// path.
+func (l *loader) pathForDir(dir string) string {
+	rel, err := filepath.Rel(l.cfg.Dir, dir)
+	if err != nil || rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	if l.cfg.ModulePath == "" {
+		return rel
+	}
+	if rel == "" {
+		return l.cfg.ModulePath
+	}
+	return l.cfg.ModulePath + "/" + rel
+}
+
+// dirForPath maps an import path to a local directory, or "" when the
+// path is not local.
+func (l *loader) dirForPath(path string) string {
+	switch {
+	case l.cfg.ModulePath != "":
+		if path == l.cfg.ModulePath {
+			return l.cfg.Dir
+		}
+		rest, ok := strings.CutPrefix(path, l.cfg.ModulePath+"/")
+		if !ok {
+			return ""
+		}
+		return filepath.Join(l.cfg.Dir, filepath.FromSlash(rest))
+	default:
+		dir := filepath.Join(l.cfg.Dir, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+		return ""
+	}
+}
+
+// Import implements types.Importer over the loader, so repo-local
+// dependencies of a package under analysis are themselves loaded from
+// source with full fidelity.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := l.dirForPath(path); dir != "" {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one directory, memoized by import path.
+func (l *loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range entries {
+		if !goSource(e) {
+			continue
+		}
+		fn := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		} else if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s contains packages %q and %q", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

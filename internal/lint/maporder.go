@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newMapOrder builds the map-order analyzer. Go randomizes map
+// iteration order, so a range over a map that appends to a slice or
+// writes output directly leaks that randomness into results unless
+// the collected slice is sorted afterwards. The analyzer flags, in
+// every package:
+//
+//   - a range-over-map body that prints (fmt.Print*/Fprint*) or sends
+//     on a channel — order reaches the output stream immediately;
+//   - a range-over-map body that appends to a local slice which is
+//     not subsequently passed to sort.* or slices.Sort* in the same
+//     function.
+//
+// Writes keyed by the map's own key (m2[k] = v) are order-independent
+// and stay legal.
+func newMapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iteration whose order can leak into slices or output",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	p.inspectStack(func(n ast.Node, stack []ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, rng, stack)
+		return true
+	})
+}
+
+func checkMapRange(p *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	info := p.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside range over map: delivery order follows map iteration order")
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if funcPkgPath(fn) == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+				p.Reportf(n.Pos(), "fmt.%s inside range over map: output order follows map iteration order", fn.Name())
+			}
+		case *ast.AssignStmt:
+			checkAppendInMapRange(p, n, rng, stack)
+		}
+		return true
+	})
+}
+
+// checkAppendInMapRange flags `s = append(s, …)` where s is a plain
+// identifier that is never sorted after the loop.
+func checkAppendInMapRange(p *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, stack []ast.Node) {
+	info := p.Pkg.Info
+	for i, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			continue // shadowed append, not the builtin
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue // append into m[k] etc. is keyed, not ordered
+		}
+		obj := info.Uses[target]
+		if obj == nil {
+			obj = info.Defs[target]
+		}
+		if obj == nil {
+			continue
+		}
+		if sortedAfter(info, rng, stack, obj) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append to %s inside range over map without a later sort: element order follows map iteration order", target.Name)
+	}
+}
+
+// sortedAfter reports whether any statement after the range loop (in
+// its enclosing block or an enclosing block further out, still within
+// the same function) calls sort.* or slices.Sort* with the appended
+// slice as (part of) an argument.
+func sortedAfter(info *types.Info, rng *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	// Walk outward: for each enclosing block, scan the statements that
+	// come after the subtree containing the loop.
+	inner := ast.Node(rng)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.BlockStmt:
+			past := false
+			for _, stmt := range n.List {
+				if !past {
+					if containsNode(stmt, inner) {
+						past = true
+					}
+					continue
+				}
+				if stmtSorts(info, stmt, obj) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false // don't escape the enclosing function
+		}
+		inner = stack[i]
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+func stmtSorts(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		fn := calleeFunc(info, call)
+		switch funcPkgPath(fn) {
+		case "sort", "slices":
+		default:
+			return !found
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

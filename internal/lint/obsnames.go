@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// newObsNames builds the obs-names analyzer. Metric names passed to
+// the internal/obs registry (GetCounter, GetGauge, GetTimer) must be
+// compile-time constant strings: a name computed at call time can
+// grow the registry without bound (per-request cardinality) and makes
+// the /metrics surface impossible to audit statically. The analyzer
+// also tracks every registration across the whole run and flags a
+// name registered under two different metric kinds, which would split
+// one logical metric into silently diverging entries.
+//
+// The analyzer carries run-scoped state, so NewAnalyzers must hand
+// out a fresh instance per run.
+func newObsNames() *Analyzer {
+	type reg struct {
+		kind string
+		pos  token.Position
+	}
+	seen := map[string]reg{}
+	return &Analyzer{
+		Name: "obsnames",
+		Doc:  "require constant obs metric names, one kind per name",
+		Run: func(p *Pass) {
+			info := p.Pkg.Info
+			p.inspectStack(func(n ast.Node, _ []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !pathTail(funcPkgPath(fn), "internal/obs") {
+					return true
+				}
+				var kind string
+				switch fn.Name() {
+				case "GetCounter":
+					kind = "counter"
+				case "GetGauge":
+					kind = "gauge"
+				case "GetTimer":
+					kind = "timer"
+				default:
+					return true
+				}
+				if len(call.Args) == 0 {
+					return true
+				}
+				name, ok := constStringArg(info, call.Args[0])
+				if !ok {
+					p.Reportf(call.Args[0].Pos(), "metric name passed to obs.%s must be a compile-time constant string", fn.Name())
+					return true
+				}
+				if prev, ok := seen[name]; ok && prev.kind != kind {
+					p.Reportf(call.Args[0].Pos(), "metric %q registered as %s here but as %s at %s", name, kind, prev.kind, compactPos(prev.pos))
+					return true
+				}
+				if _, ok := seen[name]; !ok {
+					seen[name] = reg{kind: kind, pos: p.Fset.Position(call.Args[0].Pos())}
+				}
+				return true
+			})
+		},
+	}
+}
+
+func compactPos(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}

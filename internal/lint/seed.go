@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newSeed builds the seed-discipline analyzer. Every random stream in
+// the repo must come from internal/rng with an explicit, deterministic
+// seed expression: the paper harness regenerates results from recorded
+// seeds, so an RNG whose seed is implicit (math/rand's global state)
+// or clock-derived (rng.New(uint64(time.Now().UnixNano()))) breaks the
+// chain of reproducibility. The rule applies to every package — the
+// serving layers included, whose hedging decisions must replay in the
+// simulator — and flags, outside internal/rng itself:
+//
+//   - any reference to math/rand or math/rand/v2 (constructors and
+//     global functions alike);
+//   - an rng.New / rng.Source seed expression that reads the clock or
+//     crypto/rand.
+func newSeed() *Analyzer {
+	return &Analyzer{
+		Name: "seed",
+		Doc:  "require internal/rng sources with explicit deterministic seeds",
+		Run:  runSeed,
+	}
+}
+
+func runSeed(p *Pass) {
+	if pathTail(p.Pkg.Path, "internal/rng") {
+		return
+	}
+	info := p.Pkg.Info
+	p.inspectStack(func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Only qualified references (rand.X) count; method calls
+			// on values would double-report every use site.
+			x, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := info.Uses[x].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				p.Reportf(n.Pos(), "math/rand is off-limits (implicit or Go-version-dependent streams); use internal/rng with an explicit seed")
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn == nil || fn.Name() != "New" || !pathTail(funcPkgPath(fn), "internal/rng") {
+				return true
+			}
+			for _, arg := range n.Args {
+				if usesPackageFunc(info, arg, "time") {
+					p.Reportf(arg.Pos(), "rng.New seeded from the clock: seeds must be explicit deterministic expressions")
+				}
+				if usesPackageFunc(info, arg, "crypto/rand") {
+					p.Reportf(arg.Pos(), "rng.New seeded from crypto/rand: seeds must be explicit deterministic expressions")
+				}
+			}
+		}
+		return true
+	})
+}

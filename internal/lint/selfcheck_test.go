@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoIsClean mirrors the CI gate from inside the test suite: the
+// full analyzer suite over every package in the repository must come
+// back empty. A failure here means a change introduced a determinism,
+// seed, ctx-flow, err-drop, map-order, or obs-names violation without
+// either fixing it or suppressing it with a reasoned //lint:ignore.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short mode")
+	}
+	root, mod, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, fset, err := Load(Config{Dir: root, ModulePath: mod}, "...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded; the pattern expansion lost most of the repo", len(pkgs))
+	}
+	diags := Run(pkgs, fset, NewAnalyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,4 @@
+// Package parsebad fails to parse.
+package parsebad
+
+func broken( {

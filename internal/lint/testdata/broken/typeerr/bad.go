@@ -1,0 +1,4 @@
+// Package typeerr fails to type-check.
+package typeerr
+
+var x = undefinedIdentifier

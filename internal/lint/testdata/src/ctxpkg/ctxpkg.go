@@ -1,0 +1,45 @@
+// Package ctxpkg exercises the ctx-flow analyzer in a non-main
+// package: fresh root contexts are forbidden, and a received context
+// must be threaded through.
+package ctxpkg
+
+import "context"
+
+// fresh creates a root context in library code.
+func fresh() context.Context {
+	return context.Background() // want "ctxflow: context\\.Background outside package main"
+}
+
+// todo is no better.
+func todo() context.Context {
+	return context.TODO() // want "ctxflow: context\\.TODO outside package main"
+}
+
+// dropped receives a context and then discards it for a callee.
+func dropped(ctx context.Context) error {
+	return dial(context.Background()) // want "ctxflow: context\\.Background discards the context this function already receives"
+}
+
+// droppedInClosure shows the check seeing through function literals:
+// the closure still has the caller's ctx in scope.
+func droppedInClosure(ctx context.Context) func() error {
+	return func() error {
+		return dial(context.TODO()) // want "ctxflow: context\\.TODO discards the context this function already receives"
+	}
+}
+
+// threaded is the sanctioned form.
+func threaded(ctx context.Context) error {
+	return dial(ctx)
+}
+
+func dial(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// suppressed shows the escape hatch for genuinely detached lifecycles.
+func suppressed() context.Context {
+	//lint:ignore ctxflow fixture-sanctioned detached lifecycle context
+	return context.Background()
+}

@@ -1,0 +1,7 @@
+// Package cyca is half of an import cycle for loader error tests.
+package cyca
+
+import "cycb"
+
+// X closes the cycle.
+var X = cycb.Y

@@ -1,0 +1,7 @@
+// Package cycb is half of an import cycle for loader error tests.
+package cycb
+
+import "cyca"
+
+// Y closes the cycle.
+var Y = cyca.X

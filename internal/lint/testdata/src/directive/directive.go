@@ -1,0 +1,16 @@
+// Package directive exercises validation of the //lint:ignore
+// directives themselves: a malformed or unknown-rule directive is a
+// diagnostic, and it suppresses nothing.
+package directive
+
+import "os"
+
+func missingReason() {
+	//lint:ignore errdrop
+	os.Remove("a.tmp")
+}
+
+func unknownRule() {
+	//lint:ignore nosuchrule reasons do not save an unknown rule
+	os.Remove("b.tmp")
+}

@@ -1,0 +1,51 @@
+// Package errdrop exercises the err-drop analyzer: error returns
+// silently discarded as bare expression statements.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// drop silently discards os.Remove's error.
+func drop() {
+	os.Remove("stale.tmp") // want "errdrop: unchecked error returned by os\\.Remove"
+}
+
+// dropMulti discards the error half of a multi-return.
+func dropMulti() {
+	os.Create("scratch.tmp") // want "errdrop: unchecked error returned by os\\.Create"
+}
+
+// checked handles the error and stays legal.
+func checked() error {
+	if err := os.Remove("stale.tmp"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// blankIsExplicit stays legal: assigning to _ is a visible,
+// reviewable statement of intent, unlike a bare call.
+func blankIsExplicit() {
+	_ = os.Remove("stale.tmp")
+}
+
+// allowlisted: fmt's print family and the never-failing builders.
+func printing(sb *strings.Builder) {
+	fmt.Println("status")
+	fmt.Fprintf(sb, "chunk %d", 1)
+	sb.WriteString("chunk")
+}
+
+// suppressed shows the escape hatch.
+func suppressed() {
+	//lint:ignore errdrop best-effort cleanup on the failure path
+	os.Remove("stale.tmp")
+}
+
+// suppressedInline shows the trailing-comment form of the directive.
+func suppressedInline() {
+	os.Remove("stale.tmp") //lint:ignore errdrop best-effort cleanup on the failure path
+}

@@ -1,0 +1,28 @@
+// Package obs is a minimal stand-in for repro/internal/obs, just
+// enough surface for the obs-names fixtures to type-check. The
+// analyzers match it by its import-path tail, internal/obs.
+package obs
+
+// Counter mirrors the real monotone counter.
+type Counter struct{}
+
+// Inc bumps the counter.
+func (*Counter) Inc() {}
+
+// Gauge mirrors the real two-way level.
+type Gauge struct{}
+
+// Set overwrites the gauge.
+func (*Gauge) Set(v int64) { _ = v }
+
+// Timer mirrors the real duration accumulator.
+type Timer struct{}
+
+// GetCounter mirrors repro/internal/obs.GetCounter.
+func GetCounter(name string) *Counter { _ = name; return new(Counter) }
+
+// GetGauge mirrors repro/internal/obs.GetGauge.
+func GetGauge(name string) *Gauge { _ = name; return new(Gauge) }
+
+// GetTimer mirrors repro/internal/obs.GetTimer.
+func GetTimer(name string) *Timer { _ = name; return new(Timer) }

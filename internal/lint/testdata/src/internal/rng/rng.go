@@ -1,0 +1,16 @@
+// Package rng is a minimal stand-in for repro/internal/rng, just
+// enough surface for the seed-discipline fixtures to type-check. The
+// analyzers match it by its import-path tail, internal/rng.
+package rng
+
+// Source mirrors the real deterministic generator.
+type Source struct{ state uint64 }
+
+// New mirrors repro/internal/rng.New.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 advances the stream.
+func (s *Source) Uint64() uint64 {
+	s.state++
+	return s.state
+}

@@ -1,0 +1,21 @@
+// Command mainpkg exercises the ctx-flow analyzer's main-package
+// carve-out: roots of the context tree are created in main, so
+// context.Background is legal here — unless the function already
+// receives a context, in which case discarding it is still a bug.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // legal: main owns the context root
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	return work(context.Background()) // want "ctxflow: context\\.Background discards the context this function already receives"
+}
+
+func work(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

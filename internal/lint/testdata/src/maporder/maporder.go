@@ -1,0 +1,75 @@
+// Package maporder exercises the map-order analyzer: range-over-map
+// bodies that let Go's randomized iteration order reach a slice or an
+// output stream.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keysUnsorted leaks map order into the returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "maporder: append to keys inside range over map without a later sort"
+	}
+	return keys
+}
+
+// keysSorted is the idiomatic fix: collect, then sort.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysSortedOutside shows the sort being found past an enclosing
+// block boundary, still within the function.
+func keysSortedOutside(m map[string]int, collect bool) []string {
+	var keys []string
+	if collect {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printDirect leaks map order straight into the output stream.
+func printDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "maporder: fmt\\.Println inside range over map"
+	}
+}
+
+// send leaks map order into channel delivery order.
+func send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "maporder: channel send inside range over map"
+	}
+}
+
+// keyed writes stay legal: the destination is indexed by the map's
+// own key, so iteration order cannot matter.
+func keyed(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// suppressed shows the escape hatch.
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder order is re-established by the caller before use
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,37 @@
+// Package obsnames exercises the obs-names analyzer: metric names
+// passed to the obs registry must be compile-time constant strings,
+// and one name must stay one metric kind.
+package obsnames
+
+import (
+	"internal/obs"
+)
+
+// Literal and named-constant names are sanctioned.
+var requests = obs.GetCounter("svc.requests")
+
+const hitsName = "svc.cache." + "hits"
+
+var hits = obs.GetCounter(hitsName)
+
+var latency = obs.GetTimer("svc.latency")
+
+// dynamic computes a name at call time: unbounded cardinality.
+func dynamic(route string) {
+	obs.GetCounter("svc.route." + route).Inc() // want "obsnames: metric name passed to obs\\.GetCounter must be a compile-time constant string"
+}
+
+// conflict re-registers a counter name as a gauge.
+func conflict() {
+	obs.GetGauge("svc.requests").Set(1) // want "obsnames: metric \"svc\\.requests\" registered as gauge here but as counter"
+}
+
+// suppressed shows the escape hatch for bounded computed names.
+func suppressed(shard int) {
+	//lint:ignore obsnames shard count is fixed at process start, so the name set is bounded
+	obs.GetCounter(name(shard)).Inc()
+}
+
+func name(shard int) string {
+	return "svc.shard." + string(rune('0'+shard))
+}

@@ -1,0 +1,41 @@
+// Package seeds exercises the seed-discipline analyzer: every random
+// stream must come from internal/rng with an explicit deterministic
+// seed expression. Run with the seed analyzer only.
+package seeds
+
+import (
+	"time"
+
+	"math/rand"
+
+	"internal/rng"
+)
+
+// mathRand reaches for math/rand at all, which is off-limits
+// everywhere: its streams are implicit or Go-version-dependent.
+func mathRand() int64 {
+	src := rand.NewSource(7) // want "seed: math/rand is off-limits"
+	return src.Int63()
+}
+
+// clockSeed launders the wall clock into an rng seed.
+func clockSeed() *rng.Source {
+	return rng.New(uint64(time.Now().UnixNano())) // want "seed: rng\\.New seeded from the clock"
+}
+
+// explicit is the sanctioned form: a literal (or otherwise
+// deterministic) seed expression.
+func explicit() *rng.Source {
+	return rng.New(42)
+}
+
+// derived seeds from another deterministic stream, also sanctioned.
+func derived(parent *rng.Source) *rng.Source {
+	return rng.New(parent.Uint64())
+}
+
+// suppressed shows the escape hatch.
+func suppressed() *rng.Source {
+	//lint:ignore seed fixture-sanctioned clock seed for a non-replayed path
+	return rng.New(uint64(time.Now().UnixNano()))
+}

@@ -1,0 +1,20 @@
+// Package serve is a determinism true-negative fixture: its
+// import-path tail is on the nondeterminism allowlist (the serving
+// layer genuinely needs deadlines and wall-clock time), so none of
+// the reads below may produce a diagnostic.
+package serve
+
+import "time"
+
+// stamp reads the wall clock, legally.
+func stamp() time.Time { return time.Now() }
+
+// race selects over two channels, legally.
+func race(a, b <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,53 @@
+// Package sim is a determinism fixture: its import-path tail matches
+// the repo's deterministic simulator package, so the deny-by-default
+// policy applies. Run with the determinism and seed analyzers.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock trips the wall-clock checks twice.
+func wallClock() time.Duration {
+	start := time.Now() // want "determinism: wall-clock call time\\.Now"
+	return time.Since(start) // want "determinism: wall-clock call time\\.Since"
+}
+
+// pure shows that time.Duration arithmetic stays legal: only clock
+// reads are flagged, not the time package's value types.
+func pure(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+// globalRand trips both the determinism rule (global source) and the
+// seed rule (math/rand at all) on the same token.
+func globalRand() int {
+	return rand.Intn(6) // want "determinism: global math/rand source" "seed: math/rand is off-limits"
+}
+
+// racy trips the multi-way select check.
+func racy(a, b <-chan int) int {
+	select { // want "determinism: select over 2 cases"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// single-case selects stay legal: there is only one way they can
+// complete, so no scheduler choice leaks.
+func blocking(a <-chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// suppressed shows the escape hatch: a well-formed //lint:ignore with
+// a reason silences the rule on the next line.
+func suppressed() time.Time {
+	//lint:ignore determinism fixture demonstrates a sanctioned wall-clock read
+	return time.Now()
+}
