@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check cover bench figs fuzz stress chaos clean
+.PHONY: all build test race lint check cover bench benchreport bench-update bench-smoke figs fuzz stress chaos clean
 
 all: build test
 
@@ -52,6 +52,26 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The curated benchmark set (internal/benchsuite) against the
+# committed baseline. BENCHTIME must match the conditions the baseline
+# was recorded under (see EXPERIMENTS.md) or the comparison is unfair.
+BENCHTIME ?= 500ms
+BASELINE  ?= BENCH_5.json
+
+benchreport:
+	$(GO) run ./cmd/benchreport -baseline $(BASELINE) -benchtime $(BENCHTIME)
+
+# Rewrite the committed baseline with fresh numbers (after an
+# intentional perf change; commit the diff alongside the change).
+bench-update:
+	$(GO) run ./cmd/benchreport -baseline $(BASELINE) -benchtime $(BENCHTIME) -update
+
+# CI regression gate: fail if any curated benchmark's ns/op exceeds
+# 1.5x its baseline entry. The tolerance is looser than the default
+# 1.3 because shared CI machines are noisier than the baseline host.
+bench-smoke:
+	$(GO) run ./cmd/benchreport -baseline $(BASELINE) -benchtime $(BENCHTIME) -tolerance 1.5
 
 # Regenerate every paper table/figure plus extension experiments into out/.
 figs:

@@ -2,6 +2,13 @@
 // testing.B target per artifact, as indexed in DESIGN.md), plus
 // scaling benchmarks of the algorithm pipeline itself.
 //
+// The scaling and sim-loop benchmarks delegate to internal/benchsuite,
+// the curated set shared with cmd/benchreport's regression gate, so
+// `go test -bench` and the gate measure identical code. Every
+// benchmark reports allocations: the zero-allocation simulator core is
+// an invariant of this repo, and a silent alloc regression should be
+// visible in any benchmark run without remembering -benchmem.
+//
 // Run with:
 //
 //	go test -bench=. -benchmem
@@ -9,9 +16,11 @@ package repro_test
 
 import (
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/benchsuite"
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -30,6 +39,7 @@ func benchExperiment(b *testing.B, id string) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard, experiments.Options{Quick: true}); err != nil {
@@ -103,6 +113,7 @@ func BenchmarkExperimentWorkers(b *testing.B) {
 		workers int
 	}{{"sequential", 1}, {"parallel", 0}} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				opts := experiments.Options{Quick: true, Workers: bc.workers}
 				if err := e.Run(io.Discard, opts); err != nil {
@@ -114,7 +125,8 @@ func BenchmarkExperimentWorkers(b *testing.B) {
 }
 
 // BenchmarkEstimateCache measures opt.Estimate on one instance under
-// repetition: cold pays for the solve, warm hits the memo cache.
+// repetition: cold pays for the solve, warm hits the memo cache (the
+// warm path also runs in the curated suite as EstimateCache/warm).
 func BenchmarkEstimateCache(b *testing.B) {
 	src := rng.New(7)
 	times := make([]float64, 64)
@@ -122,6 +134,7 @@ func BenchmarkEstimateCache(b *testing.B) {
 		times[i] = src.Uniform(1, 10)
 	}
 	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			opt.ResetCache()
 			opt.Estimate(times, 8, len(times))
@@ -130,6 +143,7 @@ func BenchmarkEstimateCache(b *testing.B) {
 	b.Run("warm", func(b *testing.B) {
 		opt.ResetCache()
 		opt.Estimate(times, 8, len(times))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			opt.Estimate(times, 8, len(times))
@@ -138,51 +152,32 @@ func BenchmarkEstimateCache(b *testing.B) {
 }
 
 // BenchmarkScaling measures the end-to-end two-phase pipeline
-// (placement + simulation) per strategy and task count — the data
-// behind E5.
+// (placement + simulation + scoring) per strategy and task count — the
+// data behind E5, via the curated suite.
 func BenchmarkScaling(b *testing.B) {
-	strategies := []struct {
-		name string
-		cfg  core.Config
-	}{
-		{"NoReplication", core.Config{Strategy: core.NoReplication}},
-		{"Groups8", core.Config{Strategy: core.Groups, Groups: 8}},
-		{"Everywhere", core.Config{Strategy: core.ReplicateEverywhere}},
-	}
-	for _, n := range []int{1_000, 10_000, 100_000} {
-		in := workload.MustNew(workload.Spec{
-			Name: "uniform", N: n, M: 64, Alpha: 1.5, Seed: 1,
-		})
-		uncertainty.Uniform{}.Perturb(in, nil, rng.New(2))
-		for _, s := range strategies {
-			b.Run(benchName(s.name, n), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if _, err := core.Run(in, s.cfg); err != nil {
-						b.Fatal(err)
-					}
-				}
-				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
-			})
+	for _, s := range benchsuite.Curated() {
+		if rest, ok := strings.CutPrefix(s.Name, "Scaling/"); ok {
+			b.Run(rest, s.Run)
 		}
 	}
 }
 
-func benchName(strategy string, n int) string {
-	switch n {
-	case 1_000:
-		return strategy + "/n=1k"
-	case 10_000:
-		return strategy + "/n=10k"
-	case 100_000:
-		return strategy + "/n=100k"
+// BenchmarkSimLoop measures the bare simulator event loop with
+// placement and order precomputed: the zero-steady-state-allocations
+// target of the pooled runner work.
+func BenchmarkSimLoop(b *testing.B) {
+	for _, s := range benchsuite.Curated() {
+		if rest, ok := strings.CutPrefix(s.Name, "SimLoop/"); ok {
+			b.Run(rest, s.Run)
+		}
 	}
-	return strategy
 }
 
 // BenchmarkAdversaryPipeline measures the full adversarial evaluation
 // loop used throughout the experiments: plan, perturb against the
 // placement, execute, score.
 func BenchmarkAdversaryPipeline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		in, err := adversary.Theorem1Instance(10, 24, 2)
 		if err != nil {
@@ -206,6 +201,7 @@ func BenchmarkMemAware(b *testing.B) {
 	in := workload.MustNew(workload.Spec{Name: "spmv", N: 5_000, M: 16, Alpha: 1.5, Seed: 1})
 	uncertainty.Uniform{}.Perturb(in, nil, rng.New(2))
 	b.Run("SABO", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := memaware.SABO(in, memaware.Config{Delta: 1}); err != nil {
 				b.Fatal(err)
@@ -213,6 +209,7 @@ func BenchmarkMemAware(b *testing.B) {
 		}
 	})
 	b.Run("ABO", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := memaware.ABO(in, memaware.Config{Delta: 1}); err != nil {
 				b.Fatal(err)
@@ -224,6 +221,7 @@ func BenchmarkMemAware(b *testing.B) {
 // BenchmarkBoundsEvaluation measures the analytic formula layer (it
 // should be effectively free next to the simulations).
 func BenchmarkBoundsEvaluation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, alpha := range []float64{1.1, 1.5, 2} {
 			_ = bounds.RatioReplication(210, alpha)

@@ -1,0 +1,175 @@
+// Command benchreport runs the curated benchmark set (see
+// internal/benchsuite) outside the go-test harness and emits a
+// machine-readable report, comparing it against a committed baseline
+// and failing on regression.
+//
+// Usage:
+//
+//	benchreport [-baseline BENCH_5.json] [-out report.json]
+//	            [-tolerance 1.3] [-benchtime 200ms] [-update] [-list]
+//
+// The report records ns/op, B/op, allocs/op, and tasks/s per
+// benchmark. With -baseline, each benchmark's ns/op is compared to the
+// baseline entry and the run fails (exit 1) if any exceeds
+// baseline × tolerance; benchmarks missing from the baseline are
+// reported but not gated. With -update the baseline file is rewritten
+// with the fresh numbers instead. The JSON carries no timestamps or
+// host details, so -update produces minimal diffs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/benchsuite"
+)
+
+// Measurement is one benchmark's recorded numbers.
+type Measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// TasksPerSec is derived from the spec's task count; 0 when the
+	// benchmark has no task-throughput interpretation.
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+}
+
+// Report is the BENCH_*.json schema.
+type Report struct {
+	// Benchmarks lists the curated set in its fixed order.
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+func main() {
+	// Register the testing flags (test.benchtime and friends) before
+	// defining ours: testing.Benchmark needs them parsed.
+	testing.Init()
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON to compare against (and rewrite with -update)")
+		out       = flag.String("out", "", "write the fresh report to this file ('-' for stdout)")
+		tolerance = flag.Float64("tolerance", 1.3, "fail when ns/op exceeds baseline by this factor")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime syntax)")
+		update    = flag.Bool("update", false, "rewrite the baseline with this run's numbers")
+		list      = flag.Bool("list", false, "list curated benchmark names and exit")
+	)
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fatalf("bad -benchtime: %v", err)
+	}
+
+	specs := benchsuite.Curated()
+	if *list {
+		for _, s := range specs {
+			fmt.Println(s.Name)
+		}
+		return
+	}
+
+	report := Report{Benchmarks: make([]Measurement, 0, len(specs))}
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "running %-32s ", s.Name)
+		r := testing.Benchmark(s.Run)
+		m := Measurement{
+			Name:        s.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if s.Tasks > 0 && m.NsPerOp > 0 {
+			m.TasksPerSec = float64(s.Tasks) * 1e9 / m.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op",
+			m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		if m.TasksPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %12.0f tasks/s", m.TasksPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
+		report.Benchmarks = append(report.Benchmarks, m)
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, report); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeReport(*baseline, report); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s updated\n", *baseline)
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatalf("reading baseline: %v (run with -update to create it)", err)
+	}
+	if failed := compare(report, base, *tolerance); failed > 0 {
+		fatalf("%d benchmark(s) regressed beyond %.0f%% of baseline", failed, (*tolerance-1)*100)
+	}
+}
+
+// compare reports each benchmark against the baseline and returns the
+// number of failures. Only ns/op gates the run — allocation counts are
+// informative (they vary legitimately with pool warm-up) — but a
+// regression message includes them for diagnosis.
+func compare(fresh, base Report, tolerance float64) int {
+	byName := make(map[string]Measurement, len(base.Benchmarks))
+	for _, m := range base.Benchmarks {
+		byName[m.Name] = m
+	}
+	failed := 0
+	for _, m := range fresh.Benchmarks {
+		b, ok := byName[m.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "NOTE  %s: not in baseline (run -update to add it)\n", m.Name)
+			continue
+		}
+		ratio := m.NsPerOp / b.NsPerOp
+		status := "ok  "
+		if ratio > tolerance {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "%s  %-32s %.2fx baseline (%.0f vs %.0f ns/op, allocs %d vs %d)\n",
+			status, m.Name, ratio, m.NsPerOp, b.NsPerOp, m.AllocsPerOp, b.AllocsPerOp)
+	}
+	return failed
+}
+
+func writeReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

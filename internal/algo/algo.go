@@ -28,8 +28,9 @@ package algo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"repro/internal/loadheap"
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -61,54 +62,141 @@ type Result struct {
 }
 
 // Execute runs both phases of the algorithm on the instance and
-// verifies the resulting schedule against the placement.
+// verifies the resulting schedule against the placement. The returned
+// Result is freshly allocated and owned by the caller; trial loops
+// that execute many instances should reuse a Scratch instead.
 func Execute(in *task.Instance, a Algorithm) (*Result, error) {
-	p, err := a.Place(in)
-	if err != nil {
-		return nil, fmt.Errorf("%s: phase 1: %w", a.Name(), err)
+	var s Scratch // fresh state: the returned buffers are caller-owned
+	return s.Execute(in, a)
+}
+
+// Scratch is reusable two-phase execution state: the phase-1 placement,
+// the priority order, the phase-2 dispatcher, and the simulator state
+// are all recycled between Execute calls, so a Scratch running
+// same-shaped trials in a loop performs near-zero steady-state heap
+// allocations.
+//
+// Ownership contract: the Result returned by Execute — its Placement
+// and Schedule included — is owned by the Scratch and valid only until
+// the next Execute call. Callers that retain results must copy them,
+// or use the package-level Execute. A Scratch is not safe for
+// concurrent use; pool Scratches to share across goroutines. Results
+// are identical to the package-level Execute: every reused buffer is
+// rebuilt from the inputs before use.
+type Scratch struct {
+	runner     sim.Runner
+	disp       sim.ListDispatcher
+	place      placement.Placement
+	order      []int
+	placeOrder []int
+	res        Result
+}
+
+// intoPlacer is implemented by algorithms whose phase-1 decision can
+// be written into a reusable placement. orderBuf is scratch for the
+// phase-1 visiting order; implementations return it (possibly regrown)
+// so the caller can keep recycling it. Algorithms without the
+// interface fall back to Place, which allocates.
+type intoPlacer interface {
+	placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error)
+}
+
+// orderAppender is implemented by algorithms whose phase-2 priority
+// order can be written into a reusable buffer.
+type orderAppender interface {
+	appendOrder(in *task.Instance, buf []int) []int
+}
+
+// Execute runs both phases of the algorithm reusing the Scratch's
+// buffers; semantics match the package-level Execute.
+func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
+	p := &s.place
+	if ip, ok := a.(intoPlacer); ok {
+		buf, err := ip.placeInto(in, p, s.placeOrder[:0])
+		s.placeOrder = buf
+		if err != nil {
+			return nil, fmt.Errorf("%s: phase 1: %w", a.Name(), err)
+		}
+	} else {
+		pp, err := a.Place(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: phase 1: %w", a.Name(), err)
+		}
+		p = pp
 	}
 	if err := p.Validate(in); err != nil {
 		return nil, fmt.Errorf("%s: invalid placement: %w", a.Name(), err)
 	}
-	d, err := sim.NewListDispatcher(p, a.Order(in))
-	if err != nil {
+	if oa, ok := a.(orderAppender); ok {
+		s.order = oa.appendOrder(in, s.order[:0])
+	} else {
+		s.order = a.Order(in)
+	}
+	if err := s.disp.Reset(p, s.order); err != nil {
 		return nil, fmt.Errorf("%s: phase 2: %w", a.Name(), err)
 	}
-	res, err := sim.Run(in, d, sim.Options{})
+	res, err := s.runner.Run(in, &s.disp, sim.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", a.Name(), err)
 	}
 	if err := res.Schedule.Verify(in, p); err != nil {
 		return nil, fmt.Errorf("%s: infeasible schedule: %w", a.Name(), err)
 	}
-	return &Result{
+	s.res = Result{
 		Algorithm: a.Name(),
 		Placement: p,
 		Schedule:  res.Schedule,
 		Makespan:  res.Schedule.Makespan(),
-	}, nil
+	}
+	return &s.res, nil
 }
 
 // lptOrder returns task IDs sorted by non-increasing estimate, ties
 // broken by ID for determinism.
 func lptOrder(in *task.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+	return appendLPTOrder(in, nil)
+}
+
+// appendLPTOrder writes the LPT priority order into buf (reused when
+// its capacity allows) and returns it. The comparator (estimate
+// descending, ID ascending) is a strict total order, so the unstable
+// slices.SortFunc yields exactly the permutation the previous
+// sort.SliceStable produced — minus the reflection-based element swaps
+// that dominated the placement profile.
+func appendLPTOrder(in *task.Instance, buf []int) []int {
+	order := appendListOrder(in, buf)
+	tasks := in.Tasks
+	slices.SortFunc(order, func(a, b int) int {
+		ea, eb := tasks[a].Estimate, tasks[b].Estimate
+		if ea != eb {
+			if ea > eb {
+				return -1
+			}
+			return 1
+		}
+		return a - b
 	})
 	return order
 }
 
 // listOrder returns task IDs in input order (Graham's list order).
 func listOrder(in *task.Instance) []int {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
+	return appendListOrder(in, nil)
+}
+
+// appendListOrder writes 0..n-1 into buf (reused when its capacity
+// allows) and returns it.
+func appendListOrder(in *task.Instance, buf []int) []int {
+	n := in.N()
+	if cap(buf) < n {
+		buf = make([]int, n)
+	} else {
+		buf = buf[:n]
 	}
-	return order
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
 }
 
 // minLoadPlacement assigns tasks (visited in the given order) to the
@@ -117,16 +205,20 @@ func listOrder(in *task.Instance) []int {
 // order = lptOrder it is LPT on estimates.
 func minLoadPlacement(in *task.Instance, order []int) *placement.Placement {
 	p := placement.New(in.N(), in.M)
-	loads := make([]float64, in.M)
-	for _, j := range order {
-		best := 0
-		for i := 1; i < in.M; i++ {
-			if loads[i] < loads[best] {
-				best = i
-			}
-		}
-		p.Assign(j, best)
-		loads[best] += in.Tasks[j].Estimate
-	}
+	minLoadPlacementInto(in, order, p)
 	return p
+}
+
+// minLoadPlacementInto is minLoadPlacement writing into a reusable
+// placement. The (load, machine) heap picks the same machine the
+// previous linear scan did — least load, lowest index on ties — in
+// O(log m) instead of O(m) per task.
+func minLoadPlacementInto(in *task.Instance, order []int, p *placement.Placement) {
+	p.Reset(in.N(), in.M)
+	var loads loadheap.Heap
+	loads.Reset(in.M)
+	for _, j := range order {
+		p.Assign(j, loads.MinID())
+		loads.AddToMin(in.Tasks[j].Estimate)
+	}
 }

@@ -2,8 +2,9 @@ package algo
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"repro/internal/loadheap"
 	"repro/internal/placement"
 	"repro/internal/task"
 )
@@ -21,9 +22,19 @@ func (lptNoChoice) Place(in *task.Instance) (*placement.Placement, error) {
 	return minLoadPlacement(in, lptOrder(in)), nil
 }
 
+func (lptNoChoice) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
+	order := appendLPTOrder(in, orderBuf)
+	minLoadPlacementInto(in, order, p)
+	return order, nil
+}
+
 // Order is irrelevant for singleton replica sets (each machine simply
 // drains its own queue), but LPT order keeps traces intuitive.
 func (lptNoChoice) Order(in *task.Instance) []int { return lptOrder(in) }
+
+func (lptNoChoice) appendOrder(in *task.Instance, buf []int) []int {
+	return appendLPTOrder(in, buf)
+}
 
 // lsNoChoice is the List Scheduling baseline without replication.
 type lsNoChoice struct{}
@@ -39,7 +50,17 @@ func (lsNoChoice) Place(in *task.Instance) (*placement.Placement, error) {
 	return minLoadPlacement(in, listOrder(in)), nil
 }
 
+func (lsNoChoice) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
+	order := appendListOrder(in, orderBuf)
+	minLoadPlacementInto(in, order, p)
+	return order, nil
+}
+
 func (lsNoChoice) Order(in *task.Instance) []int { return listOrder(in) }
+
+func (lsNoChoice) appendOrder(in *task.Instance, buf []int) []int {
+	return appendListOrder(in, buf)
+}
 
 // lptNoRestriction is strategy 2 of the paper.
 type lptNoRestriction struct{}
@@ -54,7 +75,16 @@ func (lptNoRestriction) Place(in *task.Instance) (*placement.Placement, error) {
 	return placement.Everywhere(in.N(), in.M), nil
 }
 
+func (lptNoRestriction) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
+	placement.EverywhereInto(in.N(), in.M, p)
+	return orderBuf, nil
+}
+
 func (lptNoRestriction) Order(in *task.Instance) []int { return lptOrder(in) }
+
+func (lptNoRestriction) appendOrder(in *task.Instance, buf []int) []int {
+	return appendLPTOrder(in, buf)
+}
 
 // lsNoRestriction is Graham's online List Scheduling with full
 // replication: the 2−1/m baseline.
@@ -70,7 +100,16 @@ func (lsNoRestriction) Place(in *task.Instance) (*placement.Placement, error) {
 	return placement.Everywhere(in.N(), in.M), nil
 }
 
+func (lsNoRestriction) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
+	placement.EverywhereInto(in.N(), in.M, p)
+	return orderBuf, nil
+}
+
 func (lsNoRestriction) Order(in *task.Instance) []int { return listOrder(in) }
+
+func (lsNoRestriction) appendOrder(in *task.Instance, buf []int) []int {
+	return appendListOrder(in, buf)
+}
 
 // group implements strategy 3 (and its LPT and balanced variants).
 type group struct {
@@ -115,31 +154,45 @@ func (g group) Order(in *task.Instance) []int {
 	return listOrder(in)
 }
 
+func (g group) appendOrder(in *task.Instance, buf []int) []int {
+	if g.lpt {
+		return appendLPTOrder(in, buf)
+	}
+	return appendListOrder(in, buf)
+}
+
 func (g group) Place(in *task.Instance) (*placement.Placement, error) {
+	p := placement.New(in.N(), in.M)
+	if _, err := g.placeInto(in, p, nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (g group) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
 	partition := placement.PartitionGroups
 	if g.balanced {
 		partition = placement.PartitionGroupsBalanced
 	}
 	groups, err := partition(in.M, g.k)
 	if err != nil {
-		return nil, err
+		return orderBuf, err
 	}
-	p := placement.New(in.N(), in.M)
+	p.Reset(in.N(), in.M)
 	p.Groups = groups
 	p.GroupOf = make([]int, in.N())
-	loads := make([]float64, g.k)
-	for _, j := range g.Order(in) {
-		best := 0
-		for gi := 1; gi < g.k; gi++ {
-			if loads[gi] < loads[best] {
-				best = gi
-			}
-		}
+	order := g.appendOrder(in, orderBuf)
+	var loads loadheap.Heap
+	loads.Reset(g.k)
+	for _, j := range order {
+		best := loads.MinID()
 		p.GroupOf[j] = best
-		p.AssignSet(j, groups[best])
-		loads[best] += in.Tasks[j].Estimate
+		// Groups are already sorted machine lists; share them across
+		// tasks instead of copying one per task.
+		p.Sets[j] = groups[best]
+		loads.AddToMin(in.Tasks[j].Estimate)
 	}
-	return p, nil
+	return order, nil
 }
 
 // oracleLPT is a clairvoyant baseline: LPT on the *actual* times. It
@@ -155,28 +208,41 @@ func OracleLPT() Algorithm { return oracleLPT{} }
 func (oracleLPT) Name() string { return "Oracle-LPT" }
 
 func (oracleLPT) Place(in *task.Instance) (*placement.Placement, error) {
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	// Sort by actual time, not estimate: this baseline is omniscient.
-	tasks := in.Tasks
-	sort.SliceStable(order, func(a, b int) bool {
-		return tasks[order[a]].Actual > tasks[order[b]].Actual
-	})
 	p := placement.New(in.N(), in.M)
-	loads := make([]float64, in.M)
-	for _, j := range order {
-		best := 0
-		for i := 1; i < in.M; i++ {
-			if loads[i] < loads[best] {
-				best = i
-			}
-		}
-		p.Assign(j, best)
-		loads[best] += tasks[j].Actual
+	if _, err := (oracleLPT{}).placeInto(in, p, nil); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
 
+func (oracleLPT) placeInto(in *task.Instance, p *placement.Placement, orderBuf []int) ([]int, error) {
+	order := appendListOrder(in, orderBuf)
+	// Sort by actual time, not estimate: this baseline is omniscient.
+	// (Actual descending, ID ascending) is a strict total order, so the
+	// unstable sort reproduces the stable sort's permutation exactly.
+	tasks := in.Tasks
+	slices.SortFunc(order, func(a, b int) int {
+		pa, pb := tasks[a].Actual, tasks[b].Actual
+		if pa != pb {
+			if pa > pb {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+	p.Reset(in.N(), in.M)
+	var loads loadheap.Heap
+	loads.Reset(in.M)
+	for _, j := range order {
+		p.Assign(j, loads.MinID())
+		loads.AddToMin(tasks[j].Actual)
+	}
+	return order, nil
+}
+
 func (oracleLPT) Order(in *task.Instance) []int { return lptOrder(in) }
+
+func (oracleLPT) appendOrder(in *task.Instance, buf []int) []int {
+	return appendLPTOrder(in, buf)
+}

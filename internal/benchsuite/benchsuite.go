@@ -1,0 +1,168 @@
+// Package benchsuite defines the curated benchmark set shared by the
+// repo's go-test benchmarks (bench_test.go) and the benchmark
+// regression harness (cmd/benchreport). Keeping one definition of
+// each workload means the numbers a developer sees from `go test
+// -bench` and the numbers the regression gate compares are produced by
+// the same code, not near-copies that drift apart.
+//
+// The set is curated, not exhaustive: each entry pins one hot path
+// the performance work in this repo cares about — the end-to-end
+// two-phase pipeline per strategy and size, the bare simulator event
+// loop (the zero-allocation target), the memo-cache hit path, and one
+// solver-heavy experiment.
+package benchsuite
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/opt"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+// Spec is one curated benchmark.
+type Spec struct {
+	// Name is the stable identifier used in BENCH_*.json baselines and
+	// as the sub-benchmark name under go test. Renaming one orphans its
+	// baseline entry, so treat names as an interface.
+	Name string
+	// Tasks is the number of scheduling tasks one iteration processes;
+	// the harness derives tasks/s from it. Zero for benchmarks where
+	// the metric is meaningless.
+	Tasks int
+	// Run is the benchmark body, usable with b.Run and
+	// testing.Benchmark alike. Bodies call b.ReportAllocs themselves so
+	// allocation counts are recorded in every harness.
+	Run func(b *testing.B)
+}
+
+// scalingInstance builds the perturbed uniform instance the scaling
+// benchmarks share. Deterministic: fixed seeds.
+func scalingInstance(n int) *task.Instance {
+	in := workload.MustNew(workload.Spec{
+		Name: "uniform", N: n, M: 64, Alpha: 1.5, Seed: 1,
+	})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(2))
+	return in
+}
+
+func scalingSpec(name string, n int, cfg core.Config) Spec {
+	return Spec{
+		Name:  "Scaling/" + name,
+		Tasks: n,
+		Run: func(b *testing.B) {
+			in := scalingInstance(n)
+			var r core.Runner
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(in, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		},
+	}
+}
+
+// simLoopSpec benchmarks the bare simulator event loop: placement and
+// priority order are computed once outside the timer, so the measured
+// region is exactly dispatcher reset + event loop. This is the
+// zero-steady-state-allocations target.
+func simLoopSpec(n int) Spec {
+	return Spec{
+		Name:  "SimLoop/n=100k",
+		Tasks: n,
+		Run: func(b *testing.B) {
+			in := scalingInstance(n)
+			a := algo.LPTNoChoice()
+			p, err := a.Place(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			order := a.Order(in)
+			var disp sim.ListDispatcher
+			var runner sim.Runner
+			// One untimed pass grows every pooled buffer to size so the
+			// timed region measures the steady state (the 0 allocs/op
+			// invariant), not first-use slice growth.
+			if err := disp.Reset(p, order); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := runner.Run(in, &disp, sim.Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := disp.Reset(p, order); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := runner.Run(in, &disp, sim.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		},
+	}
+}
+
+func estimateWarmSpec() Spec {
+	return Spec{
+		Name: "EstimateCache/warm",
+		Run: func(b *testing.B) {
+			src := rng.New(7)
+			times := make([]float64, 64)
+			for i := range times {
+				times[i] = src.Uniform(1, 10)
+			}
+			opt.ResetCache()
+			opt.Estimate(times, 8, len(times))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt.Estimate(times, 8, len(times))
+			}
+		},
+	}
+}
+
+func experimentSpec(id string) Spec {
+	return Spec{
+		Name: "Experiment/" + id + "-quick",
+		Run: func(b *testing.B) {
+			e, err := experiments.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(io.Discard, experiments.Options{Quick: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+// Curated returns the benchmark set, in a fixed order.
+func Curated() []Spec {
+	return []Spec{
+		scalingSpec("NoReplication/n=1k", 1_000, core.Config{Strategy: core.NoReplication}),
+		scalingSpec("NoReplication/n=10k", 10_000, core.Config{Strategy: core.NoReplication}),
+		scalingSpec("NoReplication/n=100k", 100_000, core.Config{Strategy: core.NoReplication}),
+		scalingSpec("Groups8/n=10k", 10_000, core.Config{Strategy: core.Groups, Groups: 8}),
+		scalingSpec("Everywhere/n=10k", 10_000, core.Config{Strategy: core.ReplicateEverywhere}),
+		simLoopSpec(100_000),
+		estimateWarmSpec(),
+		experimentSpec("e2"),
+	}
+}

@@ -27,6 +27,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -317,13 +318,28 @@ func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// jsonBufPool recycles response-encoding buffers, mirroring serve's
+// writer path. Oversized buffers are dropped instead of pooled.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const jsonBufMax = 1 << 20
+
 // writeJSON mirrors serve's writer byte-for-byte (json.Encoder with a
 // trailing newline), which the metamorphic byte-identity tests depend
-// on.
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// on; the pooled staging buffer changes only the number of Write
+// calls, not the bytes.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= jsonBufMax {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 var errNoBackend = fmt.Errorf("cluster: no live replica")

@@ -192,29 +192,65 @@ func NewPlan(in *task.Instance, cfg Config) (*Plan, error) {
 // between Plan_ and Execute — that is the intended use for
 // adversarial experiments.
 func (pl *Plan) Execute(in *task.Instance) (*Outcome, error) {
-	res, err := algo.Execute(in, pl.algo)
-	if err != nil {
-		return nil, err
-	}
-	return score(in, pl.cfg, res)
+	var r Runner // fresh state: the returned Outcome is caller-owned
+	return r.Execute(pl, in)
 }
 
-// Run plans and executes in one call.
+// Run plans and executes in one call. The returned Outcome is freshly
+// allocated and owned by the caller; trial loops that score thousands
+// of runs should reuse a Runner instead.
 func Run(in *task.Instance, cfg Config) (*Outcome, error) {
+	var r Runner // fresh state: the returned Outcome is caller-owned
+	return r.Run(in, cfg)
+}
+
+// Runner is reusable two-phase pipeline state: the phase-1 placement,
+// phase-2 dispatcher and simulator buffers, the scoring scratch, and
+// the Outcome itself are recycled between calls, so a Runner executing
+// same-shaped trials performs near-zero steady-state heap allocations.
+// The experiment harness keeps a pool of Runners and routes every
+// trial through one.
+//
+// Ownership contract: the Outcome returned by Run or Execute — its
+// Schedule and Placement included — is owned by the Runner and valid
+// only until the Runner's next call. Extract scalar results (Makespan,
+// ratios) or copy retained structures before reusing the Runner. A
+// Runner is not safe for concurrent use; pool Runners to share across
+// goroutines. Results are identical to the package-level Run.
+type Runner struct {
+	scratch algo.Scratch
+	actuals []float64
+	out     Outcome
+}
+
+// Run plans and executes in one call, reusing the Runner's buffers.
+func (r *Runner) Run(in *task.Instance, cfg Config) (*Outcome, error) {
 	a, err := cfg.algorithm()
 	if err != nil {
 		return nil, err
 	}
-	res, err := algo.Execute(in, a)
+	res, err := r.scratch.Execute(in, a)
 	if err != nil {
 		return nil, err
 	}
-	return score(in, cfg, res)
+	return r.score(in, cfg, res)
 }
 
-func score(in *task.Instance, cfg Config, res *algo.Result) (*Outcome, error) {
-	optimum := opt.Estimate(in.Actuals(), in.M, cfg.ExactLimit)
-	out := &Outcome{
+// Execute runs phase 2 of a previously planned placement, reusing the
+// Runner's buffers; the pooled sibling of Plan.Execute.
+func (r *Runner) Execute(pl *Plan, in *task.Instance) (*Outcome, error) {
+	res, err := r.scratch.Execute(in, pl.algo)
+	if err != nil {
+		return nil, err
+	}
+	return r.score(in, pl.cfg, res)
+}
+
+// score mirrors the package-level score with recycled buffers.
+func (r *Runner) score(in *task.Instance, cfg Config, res *algo.Result) (*Outcome, error) {
+	r.actuals = in.AppendActuals(r.actuals[:0])
+	optimum := opt.Estimate(r.actuals, in.M, cfg.ExactLimit)
+	r.out = Outcome{
 		Algorithm:       res.Algorithm,
 		Placement:       res.Placement,
 		Schedule:        res.Schedule,
@@ -224,12 +260,12 @@ func score(in *task.Instance, cfg Config, res *algo.Result) (*Outcome, error) {
 		ReplicasPerTask: res.Placement.MaxReplication(),
 	}
 	if optimum.Upper > 0 {
-		out.RatioLower = res.Makespan / optimum.Upper
+		r.out.RatioLower = res.Makespan / optimum.Upper
 	}
 	if optimum.Lower > 0 {
-		out.RatioUpper = res.Makespan / optimum.Lower
+		r.out.RatioUpper = res.Makespan / optimum.Lower
 	}
-	return out, nil
+	return &r.out, nil
 }
 
 // Compare runs several configurations on the same instance and

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// poolConfigs spans every strategy so a reused Runner crosses
+// algorithm boundaries — the placements and schedules it recycles
+// differ in shape and group structure between consecutive calls.
+func poolConfigs() []Config {
+	return []Config{
+		{Strategy: NoReplication},
+		{Strategy: Groups, Groups: 3},
+		{Strategy: ReplicateEverywhere},
+		{Strategy: Groups, Groups: 2, UseLPTWithinGroups: true},
+		{Strategy: Oracle},
+	}
+}
+
+// outcomesEqual compares every field of two Outcomes, treating NaN
+// guarantees (Oracle) as equal.
+func outcomesEqual(t *testing.T, got, want *Outcome) {
+	t.Helper()
+	if got.Algorithm != want.Algorithm {
+		t.Errorf("Algorithm = %q, want %q", got.Algorithm, want.Algorithm)
+	}
+	if !reflect.DeepEqual(got.Placement.Sets, want.Placement.Sets) {
+		t.Error("Placement.Sets diverge")
+	}
+	if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+		t.Error("Schedule.Assignments diverge")
+	}
+	if got.Makespan != want.Makespan {
+		t.Errorf("Makespan = %v, want %v", got.Makespan, want.Makespan)
+	}
+	if got.Optimum != want.Optimum {
+		t.Errorf("Optimum = %+v, want %+v", got.Optimum, want.Optimum)
+	}
+	if got.RatioLower != want.RatioLower || got.RatioUpper != want.RatioUpper {
+		t.Errorf("ratios = (%v, %v), want (%v, %v)",
+			got.RatioLower, got.RatioUpper, want.RatioLower, want.RatioUpper)
+	}
+	gNaN, wNaN := math.IsNaN(got.Guarantee), math.IsNaN(want.Guarantee)
+	if gNaN != wNaN || (!gNaN && got.Guarantee != want.Guarantee) {
+		t.Errorf("Guarantee = %v, want %v", got.Guarantee, want.Guarantee)
+	}
+	if got.ReplicasPerTask != want.ReplicasPerTask {
+		t.Errorf("ReplicasPerTask = %d, want %d", got.ReplicasPerTask, want.ReplicasPerTask)
+	}
+}
+
+// TestRunnerMatchesPackageRun is the core-level pooling differential
+// test: one Runner reused across strategies and seeds must produce
+// outcomes identical in every field to the allocate-fresh package
+// entry point. The experiment engine's byte-identical-report golden
+// tests build on exactly this equivalence.
+func TestRunnerMatchesPackageRun(t *testing.T) {
+	var reused Runner
+	for _, seed := range []uint64{3, 11, 42} {
+		for _, cfg := range poolConfigs() {
+			in := sampleInstance(seed)
+			got, err := reused.Run(in, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %+v: reused: %v", seed, cfg, err)
+			}
+			want, err := Run(sampleInstance(seed), cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %+v: fresh: %v", seed, cfg, err)
+			}
+			outcomesEqual(t, got, want)
+		}
+	}
+}
+
+// TestRunnerExecuteMatchesPlanExecute repeats the check for the
+// perturb-then-execute path (plan once, adversary moves, execute):
+// Runner.Execute against Plan.Execute.
+func TestRunnerExecuteMatchesPlanExecute(t *testing.T) {
+	var reused Runner
+	for _, seed := range []uint64{5, 19} {
+		for _, cfg := range poolConfigs() {
+			in := sampleInstance(seed)
+			plan, err := NewPlan(in, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %+v: plan: %v", seed, cfg, err)
+			}
+			got, err := reused.Execute(plan, in)
+			if err != nil {
+				t.Fatalf("seed %d cfg %+v: reused execute: %v", seed, cfg, err)
+			}
+			want, err := plan.Execute(in)
+			if err != nil {
+				t.Fatalf("seed %d cfg %+v: fresh execute: %v", seed, cfg, err)
+			}
+			outcomesEqual(t, got, want)
+		}
+	}
+}

@@ -103,6 +103,8 @@ func e1SeriesUncached(opts Options) (e1Params, []bounds.Series, error) {
 			uniform: make([]float64, len(ks)),
 			advers:  make([]float64, len(ks)),
 		}
+		runner := getRunner()
+		defer putRunner(runner)
 		base := workload.MustNew(workload.Spec{
 			Name: "iterative", N: n, M: m, Alpha: alpha, Seed: seeds[trial].base,
 		})
@@ -112,7 +114,7 @@ func e1SeriesUncached(opts Options) (e1Params, []bounds.Series, error) {
 			// Random symmetric perturbation.
 			inU := base.Clone()
 			uncertainty.Uniform{}.Perturb(inU, nil, rng.New(seeds[trial].perturb[ki]))
-			outU, err := core.Run(inU, cfg)
+			outU, err := runner.Run(inU, cfg)
 			if err != nil {
 				res.err = err
 				return res
@@ -130,7 +132,7 @@ func e1SeriesUncached(opts Options) (e1Params, []bounds.Series, error) {
 				res.err = err
 				return res
 			}
-			outA, err := plan.Execute(inA)
+			outA, err := runner.Execute(plan, inA)
 			if err != nil {
 				res.err = err
 				return res

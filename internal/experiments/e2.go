@@ -87,6 +87,8 @@ func (e2) Run(w io.Writer, opts Options) error {
 		}
 		outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
 			res := trialOut{worst: make([]float64, len(cfgs)), valid: make([]int, len(cfgs))}
+			runner := getRunner()
+			defer putRunner(runner)
 			base := workload.MustNew(workload.Spec{
 				Name: "uniform", N: n, M: cell.m, Alpha: cell.alpha,
 				Seed: seeds[trial].base, Param: 20,
@@ -95,7 +97,7 @@ func (e2) Run(w io.Writer, opts Options) error {
 				in := base.Clone()
 				model.Perturb(in, nil, rng.New(seeds[trial].models[mi]))
 				for ci, cfg := range cfgs {
-					out, err := core.Run(in, cfg)
+					out, err := runner.Run(in, cfg)
 					if err != nil {
 						res.err = err
 						return res

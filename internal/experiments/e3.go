@@ -127,7 +127,7 @@ func (e3) Run(w io.Writer, opts Options) error {
 		"ABO":  {Name: "ABO-measured"},
 	}
 	for _, d := range deltas {
-		row := []interface{}{d}
+		row := []any{d}
 		for _, v := range variants {
 			mem := stats.Summarize(cells[v][d].mem).Mean
 			mk := stats.Summarize(cells[v][d].mk).Mean

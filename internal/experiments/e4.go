@@ -66,11 +66,13 @@ func (e4) Run(w io.Writer, opts Options) error {
 				err      error
 			}
 			outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+				runner := getRunner()
+				defer putRunner(runner)
 				in := workload.MustNew(workload.Spec{
 					Name: fam, N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 				})
 				uncertainty.LogNormal{Sigma: 0.4}.Perturb(in, nil, rng.New(seeds[trial].perturb))
-				res, err := core.Run(in, strategies[si].cfg)
+				res, err := runner.Run(in, strategies[si].cfg)
 				if err != nil {
 					return trialOut{err: err}
 				}

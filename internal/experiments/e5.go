@@ -46,6 +46,8 @@ func (e5) Run(w io.Writer, opts Options) error {
 	}
 
 	tb := report.NewTable("n", "strategy", "wall time", "tasks/sec")
+	runner := getRunner()
+	defer putRunner(runner)
 	for _, n := range sizes {
 		in := workload.MustNew(workload.Spec{
 			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: src.Uint64(),
@@ -54,7 +56,7 @@ func (e5) Run(w io.Writer, opts Options) error {
 		for _, c := range cfgs {
 			//lint:ignore determinism e5 measures wall-clock throughput by design; its table reports timings, not schedule quality
 			start := time.Now()
-			if _, err := core.Run(in, c.cfg); err != nil {
+			if _, err := runner.Run(in, c.cfg); err != nil {
 				return err
 			}
 			//lint:ignore determinism e5 measures wall-clock throughput by design; its table reports timings, not schedule quality

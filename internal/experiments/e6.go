@@ -83,13 +83,15 @@ func (e6) Run(w io.Writer, opts Options) error {
 				ratios:   make([]float64, len(variants)),
 				replicas: make([]float64, len(variants)),
 			}
+			scratch := getScratch()
+			defer putScratch(scratch)
 			in := workload.MustNew(workload.Spec{
 				Name: fam, N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 			})
 			uncertainty.Uniform{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
 			lb := opt.LowerBound(in.Actuals(), m)
 			for vi, v := range variants {
-				r, err := algo.Execute(in, v.algo)
+				r, err := scratch.Execute(in, v.algo)
 				if err != nil {
 					res.err = err
 					return res

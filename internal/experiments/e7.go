@@ -40,7 +40,7 @@ func (e7) Run(w io.Writer, opts Options) error {
 		headers = append(headers, fmt.Sprintf("λ=%d", l))
 	}
 	headers = append(headers, "Th.1 bound", "limit α²")
-	cells := make([]interface{}, len(headers))
+	cells := make([]any, len(headers))
 	tb := report.NewTable(headers...)
 	for _, m := range ms {
 		cells[0] = m

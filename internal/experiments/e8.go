@@ -66,6 +66,8 @@ func (e8) Run(w io.Writer, opts Options) error {
 		}
 		outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
 			res := trialOut{ratios: make([]float64, len(algos))}
+			scratch := getScratch()
+			defer putScratch(scratch)
 			in := workload.MustNew(workload.Spec{
 				// The instance still declares α to the scheduler...
 				Name: "uniform", N: n, M: m, Alpha: declared, Seed: seeds[trial].base,
@@ -75,7 +77,7 @@ func (e8) Run(w io.Writer, opts Options) error {
 			perturbBeyond(in, beta, rng.New(seeds[trial].perturb))
 			lb := opt.LowerBound(in.Actuals(), m)
 			for ai, a := range algos {
-				r, err := algo.Execute(in, a)
+				r, err := scratch.Execute(in, a)
 				if err != nil {
 					res.err = err
 					return res

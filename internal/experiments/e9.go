@@ -80,6 +80,8 @@ func (e9) Run(w io.Writer, opts Options) error {
 			repl:  make([]float64, len(replVariants)),
 			steal: make([]float64, len(phis)),
 		}
+		scratch := getScratch()
+		defer putScratch(scratch)
 		in := workload.MustNew(workload.Spec{
 			Name: "uniform", N: n, M: m, Alpha: alpha, Seed: seeds[trial].base,
 		})
@@ -88,7 +90,7 @@ func (e9) Run(w io.Writer, opts Options) error {
 
 		// Replication strategies: penalty-independent.
 		for ci, c := range replVariants {
-			r, err := algo.Execute(in, c.a)
+			r, err := scratch.Execute(in, c.a)
 			if err != nil {
 				res.err = err
 				return res
@@ -145,7 +147,7 @@ func (e9) Run(w io.Writer, opts Options) error {
 	tb := report.NewTable("phi", "steal (pinned+fetch)", "no-replication",
 		"ls-group k=2", "everywhere")
 	for _, phi := range phis {
-		row := []interface{}{phi}
+		row := []any{phi}
 		for _, label := range labels {
 			row = append(row, stats.Summarize(samples[key{phi, label}]).Mean)
 		}

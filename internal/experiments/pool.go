@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/algo"
+	"repro/internal/core"
+)
+
+// The experiment harness runs thousands of trials across par.Map
+// workers; routing each trial through a pooled runner recycles the
+// placement, dispatcher, simulator, and scoring buffers instead of
+// reallocating them per trial. Outcomes returned by a pooled runner
+// are valid only until its next call, so trial loops must extract the
+// scalars they aggregate (ratios, makespans) before the runner is
+// reused — every loop below does.
+var runnerPool = sync.Pool{New: func() any { return new(core.Runner) }}
+
+func getRunner() *core.Runner  { return runnerPool.Get().(*core.Runner) }
+func putRunner(r *core.Runner) { runnerPool.Put(r) }
+
+// scratchPool serves the experiments that execute algo.Algorithm
+// values directly, bypassing core scoring.
+var scratchPool = sync.Pool{New: func() any { return new(algo.Scratch) }}
+
+func getScratch() *algo.Scratch  { return scratchPool.Get().(*algo.Scratch) }
+func putScratch(s *algo.Scratch) { scratchPool.Put(s) }

@@ -152,6 +152,10 @@ func TestObsNamesFixture(t *testing.T) {
 	runFixture(t, "obsnames", "obsnames")
 }
 
+func TestResetFixture(t *testing.T) {
+	runFixture(t, "reset", "reset")
+}
+
 // TestDirectiveValidation pins the malformed-directive diagnostics
 // explicitly (a malformed directive cannot carry a want comment: the
 // comment text would become its reason).

@@ -3,7 +3,8 @@
 // regeneration guarantee rests on — no wall clock in deterministic
 // packages, explicit seeds only, no map-iteration order leaking into
 // output, contexts threaded through every dispatch path, no dropped
-// errors, and literal (bounded-cardinality) metric names.
+// errors, literal (bounded-cardinality) metric names, and Reset
+// methods on pooled run state that touch every field.
 //
 // The engine is stdlib-only (go/parser, go/ast, go/types with the
 // source importer); see LINTING.md for each rule's rationale and the
@@ -76,6 +77,7 @@ func NewAnalyzers() []*Analyzer {
 		newCtxFlow(),
 		newErrDrop(),
 		newObsNames(),
+		newReset(),
 	}
 }
 

@@ -1,0 +1,94 @@
+// Package reset exercises the reset analyzer: pointer-receiver Reset
+// methods must mention every field of their struct, or stale state
+// from a previous pooled use can leak into the next run.
+package reset
+
+// Runner resets every field: clean.
+type Runner struct {
+	buf   []int
+	count int
+}
+
+func (r *Runner) Reset(n int) {
+	r.buf = r.buf[:0]
+	r.count = 0
+	_ = n
+}
+
+// Leaky forgets its trace field — the exact bug the analyzer targets:
+// a field added after Reset was written.
+type Leaky struct {
+	buf   []int
+	trace []string
+}
+
+func (l *Leaky) Reset() { // want "reset: Reset never mentions field \"trace\""
+	l.buf = l.buf[:0]
+}
+
+// Wholesale uses the `*w = Wholesale{}` idiom: every field is
+// overwritten at once, so no field-by-field mentions are needed.
+type Wholesale struct {
+	a int
+	b string
+}
+
+func (w *Wholesale) Reset() {
+	*w = Wholesale{}
+}
+
+// Embedded promotes Inner's fields; mentioning the embedded field
+// itself (directly or via promotion) counts.
+type Inner struct{ x int }
+
+type Embedded struct {
+	Inner
+	y int
+}
+
+func (e *Embedded) Reset() {
+	e.Inner = Inner{}
+	e.y = 0
+}
+
+// Promoted touches the embedded struct only through a promoted field
+// access; that still marks the embedded field as handled.
+type Promoted struct {
+	Inner
+}
+
+func (p *Promoted) Reset() {
+	p.x = 0
+}
+
+// Valuer has a value receiver: it resets a copy, which is always a
+// bug.
+type Valuer struct {
+	n int
+}
+
+func (v Valuer) Reset() { // want "reset: Reset has a value receiver"
+	v.n = 0
+}
+
+// Delegated hides its reset behind a helper; the analyzer cannot see
+// through the call, so the suppression documents the contract.
+type Delegated struct {
+	data []int
+}
+
+//lint:ignore reset clearAll re-initializes data; verified by TestDelegatedReset
+func (d *Delegated) Reset() {
+	d.clearAll()
+}
+
+func (d *Delegated) clearAll() {
+	d.data = d.data[:0]
+}
+
+// NonStruct is not a struct; Reset on it is out of scope.
+type NonStruct []int
+
+func (n *NonStruct) Reset() {
+	*n = (*n)[:0]
+}

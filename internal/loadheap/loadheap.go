@@ -1,0 +1,98 @@
+// Package loadheap provides a specialized binary min-heap over
+// (load, index) pairs for least-loaded-first assignment loops.
+//
+// Every list-scheduling phase in the repo — phase-1 placement, LPT
+// reference schedules, group assignment — repeatedly asks "which
+// machine has the least load, lowest index first?" and then adds work
+// to it. The naive O(m) scan per task puts an n·m term on the hot
+// path; the heap answers the same query in O(log m) with the exact
+// same tie-breaking (load first, then index), so replacing a scan with
+// a Heap can never change an assignment decision: the comparator is a
+// strict total order, making the minimum unique.
+package loadheap
+
+// Heap is a binary min-heap of machine loads keyed by
+// (load, machine index). The zero value is an empty heap; call Reset
+// before use. Reusing one Heap across trials performs zero
+// steady-state allocations.
+type Heap struct {
+	load []float64
+	id   []int
+}
+
+// Reset re-initializes the heap to m entries with zero load and ids
+// 0..m-1, reusing both backing arrays. Equal loads with ascending ids
+// already satisfy the heap order, so no sifting is needed. Both fields
+// are fully overwritten up to m.
+func (h *Heap) Reset(m int) {
+	if cap(h.load) < m {
+		h.load = make([]float64, m)
+		h.id = make([]int, m)
+	} else {
+		h.load = h.load[:m]
+		h.id = h.id[:m]
+		clear(h.load)
+	}
+	for i := range h.id {
+		h.id[i] = i
+	}
+}
+
+// Len returns the number of entries.
+func (h *Heap) Len() int { return len(h.load) }
+
+// MinID returns the index of the minimum entry: the machine with the
+// least load, lowest index on ties.
+func (h *Heap) MinID() int { return h.id[0] }
+
+// MinLoad returns the minimum entry's load.
+func (h *Heap) MinLoad() float64 { return h.load[0] }
+
+// MaxLoad returns the largest load in the heap — the makespan of the
+// assignment the heap accumulated. O(m): the maximum of a min-heap
+// lives somewhere in the leaf half.
+func (h *Heap) MaxLoad() float64 {
+	max := 0.0
+	for _, l := range h.load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// AddToMin adds delta to the minimum entry's load and restores the
+// heap order. It is the fused pop+push of the assignment loop: assign
+// work to the least-loaded machine.
+func (h *Heap) AddToMin(delta float64) {
+	h.load[0] += delta
+	h.siftDown(0)
+}
+
+// less orders entries by (load, id).
+func (h *Heap) less(a, b int) bool {
+	if h.load[a] != h.load[b] {
+		return h.load[a] < h.load[b]
+	}
+	return h.id[a] < h.id[b]
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.load)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		next := left
+		if right := left + 1; right < n && h.less(right, left) {
+			next = right
+		}
+		if !h.less(next, i) {
+			return
+		}
+		h.load[i], h.load[next] = h.load[next], h.load[i]
+		h.id[i], h.id[next] = h.id[next], h.id[i]
+		i = next
+	}
+}

@@ -18,13 +18,24 @@ import (
 // The cache is keyed by a content hash of the processing-time
 // multiset-in-order plus (m, exactLimit); hash buckets store the full
 // key (a private copy of times) and compare element-wise, so hash
-// collisions can never return a wrong bracket. It is bounded: when it
-// reaches cacheMaxEntries the table is dropped wholesale — the access
-// pattern is bursts of repeats within an experiment, for which a
-// periodic full flush loses little.
+// collisions can never return a wrong bracket. It is bounded: when a
+// shard reaches its entry quota its table is dropped wholesale — the
+// access pattern is bursts of repeats within an experiment, for which
+// a periodic full flush loses little.
+//
+// The table is sharded by the top bits of the content hash with one
+// RWMutex per shard: the parallel trial loops hit the cache from every
+// worker at once, and a single lock — even read-write — serializes the
+// lookups that make memoization worthwhile in the first place. Shard
+// choice uses the top hash bits, which are independent of the bits the
+// per-shard map indexes with.
 
-// cacheMaxEntries bounds the memo table's size.
-const cacheMaxEntries = 4096
+const (
+	// cacheShards is the lock-striping factor; a power of two.
+	cacheShards = 16
+	// cacheMaxEntries bounds the memo table's total size across shards.
+	cacheMaxEntries = 4096
+)
 
 type cacheKey struct {
 	hash       uint64
@@ -38,18 +49,35 @@ type cacheEntry struct {
 	res   Result
 }
 
-var cache = struct {
+type cacheShard struct {
 	sync.RWMutex
 	entries map[cacheKey][]cacheEntry
 	size    int
-}{entries: map[cacheKey][]cacheEntry{}}
+}
+
+var cache [cacheShards]cacheShard
+
+func init() {
+	for i := range cache {
+		cache[i].entries = map[cacheKey][]cacheEntry{}
+	}
+}
+
+func shardFor(hash uint64) *cacheShard {
+	return &cache[(hash>>58)&(cacheShards-1)]
+}
 
 var (
 	cacheHits   = obs.GetCounter("opt.cache_hits")
 	cacheMisses = obs.GetCounter("opt.cache_misses")
 )
 
-// hashTimes is FNV-1a over the IEEE-754 bit patterns of times.
+// hashTimes is FNV-1a over the IEEE-754 bit patterns of times, folded
+// word-wise (one xor/multiply per element instead of eight): the full
+// 64-bit pattern feeds the accumulator in one step. The weaker
+// per-byte diffusion is safe here because the cache compares the full
+// key element-wise on every hit — a collision costs a bucket scan,
+// never a wrong result.
 func hashTimes(times []float64) uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -57,11 +85,8 @@ func hashTimes(times []float64) uint64 {
 	)
 	h := uint64(offset64)
 	for _, p := range times {
-		bits := math.Float64bits(p)
-		for shift := 0; shift < 64; shift += 8 {
-			h ^= (bits >> shift) & 0xff
-			h *= prime64
-		}
+		h ^= math.Float64bits(p)
+		h *= prime64
 	}
 	return h
 }
@@ -82,16 +107,17 @@ func timesEqual(a, b []float64) bool {
 
 // cacheLookup returns a memoized Estimate result if present.
 func cacheLookup(key cacheKey, times []float64) (Result, bool) {
-	cache.RLock()
-	bucket := cache.entries[key]
+	s := shardFor(key.hash)
+	s.RLock()
+	bucket := s.entries[key]
 	for _, e := range bucket {
 		if timesEqual(e.times, times) {
-			cache.RUnlock()
+			s.RUnlock()
 			cacheHits.Inc()
 			return e.res, true
 		}
 	}
-	cache.RUnlock()
+	s.RUnlock()
 	cacheMisses.Inc()
 	return Result{}, false
 }
@@ -102,19 +128,20 @@ func cacheLookup(key cacheKey, times []float64) (Result, bool) {
 func cacheStore(key cacheKey, times []float64, res Result) {
 	cp := make([]float64, len(times))
 	copy(cp, times)
-	cache.Lock()
-	defer cache.Unlock()
-	if cache.size >= cacheMaxEntries {
-		cache.entries = map[cacheKey][]cacheEntry{}
-		cache.size = 0
+	s := shardFor(key.hash)
+	s.Lock()
+	defer s.Unlock()
+	if s.size >= cacheMaxEntries/cacheShards {
+		s.entries = map[cacheKey][]cacheEntry{}
+		s.size = 0
 	}
-	for _, e := range cache.entries[key] {
+	for _, e := range s.entries[key] {
 		if timesEqual(e.times, times) {
 			return // lost a store race; entry already present
 		}
 	}
-	cache.entries[key] = append(cache.entries[key], cacheEntry{times: cp, res: res})
-	cache.size++
+	s.entries[key] = append(s.entries[key], cacheEntry{times: cp, res: res})
+	s.size++
 }
 
 // CacheStats reports the memo cache's lifetime hit and miss counts.
@@ -124,10 +151,13 @@ func CacheStats() (hits, misses int64) {
 
 // ResetCache empties the memo cache and zeroes its counters (tests).
 func ResetCache() {
-	cache.Lock()
-	cache.entries = map[cacheKey][]cacheEntry{}
-	cache.size = 0
-	cache.Unlock()
+	for i := range cache {
+		s := &cache[i]
+		s.Lock()
+		s.entries = map[cacheKey][]cacheEntry{}
+		s.size = 0
+		s.Unlock()
+	}
 	cacheHits.Add(-cacheHits.Load())
 	cacheMisses.Add(-cacheMisses.Load())
 }

@@ -1,7 +1,6 @@
 package opt
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -15,6 +14,14 @@ import (
 // (m-vectors of loads), repeatedly merging the two with the largest
 // spread by pairing the heaviest load of one with the lightest of the
 // other. Complexity O(n·(log n + m log m)).
+//
+// The heap is a specialized inline implementation mirroring
+// container/heap's sift procedures operation-for-operation, so the pop
+// order among equal-spread vectors — and therefore the returned value —
+// is identical to the previous container/heap version, without boxing
+// every vector through interface{}. All n initial vectors are carved
+// from one slab, and each merge writes into the popped vector instead
+// of allocating a fresh one.
 func KarmarkarKarp(times []float64, m int) float64 {
 	n := len(times)
 	if n == 0 {
@@ -28,45 +35,88 @@ func KarmarkarKarp(times []float64, m int) float64 {
 		return s
 	}
 
-	h := make(ldmHeap, 0, n)
-	for _, p := range times {
-		v := make([]float64, m) // ascending loads; only the last is non-zero
+	slab := make([]float64, n*m) // ascending loads; only the last is non-zero
+	h := make(ldmHeap, n)
+	for i, p := range times {
+		v := slab[i*m : (i+1)*m : (i+1)*m]
 		v[m-1] = p
-		h = append(h, v)
+		h[i] = v
 	}
-	heap.Init(&h)
-	for h.Len() > 1 {
-		a := heap.Pop(&h).([]float64)
-		b := heap.Pop(&h).([]float64)
+	h.init()
+	for len(h) > 1 {
+		a := h.pop()
+		b := h.pop()
 		// Pair a's largest with b's smallest and vice versa: cancels the
-		// difference.
-		merged := make([]float64, m)
+		// difference. a and b are distinct slab regions, so writing the
+		// merge into a while reading b is safe; b's storage is dropped.
 		for i := 0; i < m; i++ {
-			merged[i] = a[i] + b[m-1-i]
+			a[i] += b[m-1-i]
 		}
-		sort.Float64s(merged)
-		heap.Push(&h, merged)
+		sort.Float64s(a)
+		h.push(a)
 	}
-	final := h[0]
-	return final[m-1] // makespan = largest load
+	return h[0][m-1] // makespan = largest load
 }
 
 // ldmHeap orders partial solutions by descending spread
-// (max load − min load).
+// (max load − min load). The sift procedures replicate container/heap
+// exactly; see KarmarkarKarp.
 type ldmHeap [][]float64
 
-func (h ldmHeap) Len() int { return len(h) }
-func (h ldmHeap) Less(a, b int) bool {
+func (h ldmHeap) less(a, b int) bool {
 	sa := h[a][len(h[a])-1] - h[a][0]
 	sb := h[b][len(h[b])-1] - h[b][0]
 	return sa > sb
 }
-func (h ldmHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *ldmHeap) Push(x interface{}) { *h = append(*h, x.([]float64)) }
-func (h *ldmHeap) Pop() interface{} {
+
+func (h ldmHeap) init() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+}
+
+func (h ldmHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h ldmHeap) up(j int) {
+	for {
+		i := (j - 1) / 2
+		if i == j || !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h *ldmHeap) push(v []float64) {
+	*h = append(*h, v)
+	h.up(len(*h) - 1)
+}
+
+func (h *ldmHeap) pop() []float64 {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	last := len(old) - 1
+	old[0], old[last] = old[last], old[0]
+	old.down(0, last)
+	v := old[last]
+	*h = old[:last]
+	return v
 }

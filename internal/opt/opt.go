@@ -17,8 +17,11 @@ package opt
 
 import (
 	"math"
+	"slices"
 	"sort"
+	"sync"
 
+	"repro/internal/loadheap"
 	"repro/internal/obs"
 )
 
@@ -30,6 +33,50 @@ var (
 	exactSolves   = obs.GetCounter("opt.exact_solves")
 	multifitRuns  = obs.GetCounter("opt.multifit_runs")
 )
+
+// solveScratch recycles the slices the bound computations sort and
+// pack into. The experiment harness calls PairLowerBound and MultiFit
+// on every scored trial from every worker; without pooling, each call
+// re-allocates an n-sized copy of the times (plus FFD bins) that dies
+// immediately after.
+type solveScratch struct {
+	desc  []float64
+	bins  []float64
+	loads loadheap.Heap
+}
+
+var solvePool = sync.Pool{New: func() any { return new(solveScratch) }}
+
+// appendDesc overwrites buf with a descending-sorted copy of times and
+// returns it. The comparator puts NaNs last, matching the previous
+// sort.Reverse(sort.Float64Slice) order; equal float64 values are
+// interchangeable, so the unstable sort is deterministic.
+func appendDesc(times, buf []float64) []float64 {
+	buf = append(buf[:0], times...)
+	slices.SortFunc(buf, func(a, b float64) int {
+		switch {
+		case a > b || (math.IsNaN(b) && !math.IsNaN(a)):
+			return -1
+		case b > a || (math.IsNaN(a) && !math.IsNaN(b)):
+			return 1
+		}
+		return 0
+	})
+	return buf
+}
+
+// lptMakespanDesc returns the LPT makespan for descending-sorted
+// times, skipping the task→machine mapping the exported LPT builds.
+// Greedily adding each time to the least-loaded machine (lowest index
+// on ties) reproduces LPT's assignment sequence exactly — same
+// machines, same float accumulation order — so the value is identical.
+func lptMakespanDesc(desc []float64, m int, loads *loadheap.Heap) float64 {
+	loads.Reset(m)
+	for _, p := range desc {
+		loads.AddToMin(p)
+	}
+	return loads.MaxLoad()
+}
 
 // SumLowerBound returns Σp / m.
 func SumLowerBound(times []float64, m int) float64 {
@@ -60,9 +107,10 @@ func PairLowerBound(times []float64, m int) float64 {
 	if n <= m {
 		return 0
 	}
-	desc := make([]float64, n)
-	copy(desc, times)
-	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+	s := solvePool.Get().(*solveScratch)
+	defer solvePool.Put(s)
+	s.desc = appendDesc(times, s.desc)
+	desc := s.desc
 
 	best := 0.0
 	for k := 1; k*m+1 <= n; k++ {
@@ -100,33 +148,33 @@ func LPT(times []float64, m int) (float64, []int) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return times[order[a]] > times[order[b]] })
-	loads := make([]float64, m)
+	// (time descending, index ascending) is a strict total order, so the
+	// unstable sort reproduces the stable sort's permutation exactly.
+	slices.SortFunc(order, func(a, b int) int {
+		if times[a] != times[b] {
+			if times[a] > times[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+	var loads loadheap.Heap
+	loads.Reset(m)
 	mapping := make([]int, len(times))
 	for _, j := range order {
-		best := 0
-		for i := 1; i < m; i++ {
-			if loads[i] < loads[best] {
-				best = i
-			}
-		}
-		mapping[j] = best
-		loads[best] += times[j]
+		mapping[j] = loads.MinID()
+		loads.AddToMin(times[j])
 	}
-	max := 0.0
-	for _, l := range loads {
-		if l > max {
-			max = l
-		}
-	}
-	return max, mapping
+	return loads.MaxLoad(), mapping
 }
 
 // ffdFits reports whether first-fit-decreasing packs the tasks into m
-// bins of the given capacity. desc must be sorted non-increasing.
-func ffdFits(desc []float64, m int, capacity float64) bool {
+// bins of the given capacity. desc must be sorted non-increasing;
+// binScratch is reusable storage with capacity ≥ m.
+func ffdFits(desc []float64, m int, capacity float64, binScratch []float64) bool {
 	const eps = 1e-12
-	bins := make([]float64, 0, m)
+	bins := binScratch[:0]
 	for _, p := range desc {
 		placed := false
 		for i := range bins {
@@ -158,19 +206,23 @@ func MultiFit(times []float64, m int, iterations int) float64 {
 	if iterations <= 0 {
 		iterations = 20
 	}
-	desc := make([]float64, len(times))
-	copy(desc, times)
-	sort.Sort(sort.Reverse(sort.Float64Slice(desc)))
+	s := solvePool.Get().(*solveScratch)
+	defer solvePool.Put(s)
+	s.desc = appendDesc(times, s.desc)
+	desc := s.desc
+	if cap(s.bins) < m {
+		s.bins = make([]float64, 0, m)
+	}
 
 	lo := LowerBound(times, m)
-	hi, _ := LPT(times, m)
-	if ffdFits(desc, m, lo) {
+	hi := lptMakespanDesc(desc, m, &s.loads)
+	if ffdFits(desc, m, lo, s.bins) {
 		return lo
 	}
 	// Invariant: FFD fits at hi, does not fit at lo.
 	for it := 0; it < iterations; it++ {
 		mid := (lo + hi) / 2
-		if ffdFits(desc, m, mid) {
+		if ffdFits(desc, m, mid, s.bins) {
 			hi = mid
 		} else {
 			lo = mid
@@ -239,7 +291,10 @@ func Estimate(times []float64, m int, exactLimit int) Result {
 func estimateUncached(times []float64, m int, exactLimit int) Result {
 	n := len(times)
 	lb := LowerBound(times, m)
-	ub, _ := LPT(times, m)
+	s := solvePool.Get().(*solveScratch)
+	s.desc = appendDesc(times, s.desc)
+	ub := lptMakespanDesc(s.desc, m, &s.loads)
+	solvePool.Put(s)
 	if mf := MultiFit(times, m, 24); mf < ub {
 		ub = mf
 	}
@@ -291,7 +346,8 @@ func Exact(times []float64, m int, maxNodes int) (float64, bool) {
 		suffix[i] = suffix[i+1] + desc[i]
 	}
 	lb := LowerBound(times, m)
-	best, _ := LPT(times, m)
+	var lh loadheap.Heap
+	best := lptMakespanDesc(desc, m, &lh)
 	if mf := MultiFit(times, m, 24); mf < best {
 		best = mf
 	}

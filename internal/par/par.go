@@ -39,7 +39,7 @@ func Map[T any](n int, workers int, fn func(i int) T) []T {
 	next := make(chan int)
 	// Propagate the first panic after all workers stop.
 	var panicOnce sync.Once
-	var panicked interface{}
+	var panicked any
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -100,7 +100,7 @@ func MapCtx[T any](ctx context.Context, n int, workers int, fn func(i int) T) ([
 	var wg sync.WaitGroup
 	next := make(chan int)
 	var panicOnce sync.Once
-	var panicked interface{}
+	var panicked any
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -31,6 +31,12 @@ type Placement struct {
 	Groups [][]int
 	// GroupOf, when Groups is non-nil, maps each task to its group.
 	GroupOf []int
+
+	// backing is a shared slab for singleton replica sets: Assign
+	// carves one-element sets out of it instead of allocating a fresh
+	// []int per task (previously n allocations for a no-replication
+	// placement). Invisible to JSON and to readers of Sets.
+	backing []int
 }
 
 // Validation errors.
@@ -52,9 +58,37 @@ func New(n, m int) *Placement {
 // N returns the number of tasks covered by the placement.
 func (p *Placement) N() int { return len(p.Sets) }
 
+// Reset re-initializes the placement as an empty n-task, m-machine
+// decision, reusing the Sets and backing buffers. Every field is
+// rebuilt or cleared — Groups and GroupOf are dropped, all replica
+// sets are nil — so a pooled Placement cannot leak sets from a
+// previous trial.
+func (p *Placement) Reset(n, m int) {
+	p.M = m
+	if cap(p.Sets) < n {
+		p.Sets = make([][]int, n)
+	} else {
+		p.Sets = p.Sets[:n]
+		clear(p.Sets)
+	}
+	p.Groups = nil
+	p.GroupOf = nil
+	p.backing = p.backing[:0]
+}
+
 // Assign sets task j's replica set to exactly machine i.
 func (p *Placement) Assign(j, i int) {
-	p.Sets[j] = []int{i}
+	if cap(p.backing) == len(p.backing) {
+		// Grow the slab to cover the whole instance at once. Earlier
+		// sets keep pointing into the previous slab, which stays valid.
+		grow := len(p.Sets)
+		if grow < 16 {
+			grow = 16
+		}
+		p.backing = make([]int, 0, grow)
+	}
+	p.backing = append(p.backing, i)
+	p.Sets[j] = p.backing[len(p.backing)-1 : len(p.backing) : len(p.backing)]
 }
 
 // AssignSet sets task j's replica set to a copy of machines, sorted
@@ -75,14 +109,26 @@ func (p *Placement) AssignSet(j int, machines []int) {
 // Everywhere places every task on all machines.
 func Everywhere(n, m int) *Placement {
 	p := New(n, m)
-	all := make([]int, m)
+	EverywhereInto(n, m, p)
+	return p
+}
+
+// EverywhereInto writes the full-replication placement into p, reusing
+// its buffers: the all-machines set is carved from the backing slab and
+// shared by every task (replica sets are read-only by convention).
+func EverywhereInto(n, m int, p *Placement) {
+	p.Reset(n, m)
+	if cap(p.backing) < m {
+		p.backing = make([]int, 0, m)
+	}
+	p.backing = p.backing[:m:m]
+	all := p.backing
 	for i := range all {
 		all[i] = i
 	}
 	for j := range p.Sets {
-		p.Sets[j] = all // shared backing array: replica sets are read-only
+		p.Sets[j] = all
 	}
-	return p
 }
 
 // MaxReplication returns max_j |M_j|.

@@ -24,7 +24,7 @@ func NewTable(headers ...string) *Table {
 
 // AddRow appends a row; cells are stringified with %v, floats with
 // %.4g.
-func (t *Table) AddRow(cells ...interface{}) {
+func (t *Table) AddRow(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

@@ -10,7 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/placement"
 	"repro/internal/task"
@@ -49,6 +50,21 @@ var (
 // New returns a schedule shell for n tasks on m machines.
 func New(n, m int) *Schedule {
 	return &Schedule{M: m, Assignments: make([]Assignment, n)}
+}
+
+// Reset re-initializes the schedule as an n-task, m-machine shell,
+// reusing the Assignments backing array when its capacity allows. It
+// zeroes every field that influences output — M is overwritten and all
+// n assignments are cleared — so a pooled Schedule cycling through
+// trials can never leak state from a previous run.
+func (s *Schedule) Reset(n, m int) {
+	s.M = m
+	if cap(s.Assignments) < n {
+		s.Assignments = make([]Assignment, n)
+	} else {
+		s.Assignments = s.Assignments[:n]
+		clear(s.Assignments)
+	}
 }
 
 // Makespan returns max over machines of the last completion time,
@@ -120,7 +136,9 @@ func (s *Schedule) VerifyDurations(in *task.Instance, p *placement.Placement,
 			ErrShapeMismatch, len(s.Assignments), s.M, in.N(), in.M)
 	}
 	const tol = 1e-9
-	perMachine := make([][]Assignment, s.M)
+	vs := verifyPool.Get().(*verifyScratch)
+	defer verifyPool.Put(vs)
+	counts := vs.counts(s.M + 1)
 	for j, a := range s.Assignments {
 		if a.Task != j {
 			return fmt.Errorf("%w: assignment %d has task %d", ErrShapeMismatch, j, a.Task)
@@ -143,10 +161,32 @@ func (s *Schedule) VerifyDurations(in *task.Instance, p *placement.Placement,
 			return fmt.Errorf("%w: task %d on machine %d, replicas %v",
 				ErrOutsideReplica, j, a.Machine, p.Sets[j])
 		}
-		perMachine[a.Machine] = append(perMachine[a.Machine], a)
+		counts[a.Machine+1]++
 	}
-	for i, as := range perMachine {
-		sort.Slice(as, func(a, b int) bool { return as[a].Start < as[b].Start })
+	// Group assignments by machine with a counting sort into one pooled
+	// buffer (the previous per-machine append slices allocated O(n)
+	// per Verify), then check each contiguous machine segment.
+	for i := 1; i <= s.M; i++ {
+		counts[i] += counts[i-1]
+	}
+	grouped := vs.grouped(len(s.Assignments))
+	next := vs.next(s.M)
+	copy(next, counts[:s.M])
+	for _, a := range s.Assignments {
+		grouped[next[a.Machine]] = a
+		next[a.Machine]++
+	}
+	for i := 0; i < s.M; i++ {
+		as := grouped[counts[i]:counts[i+1]]
+		slices.SortFunc(as, func(a, b Assignment) int {
+			if a.Start != b.Start {
+				if a.Start < b.Start {
+					return -1
+				}
+				return 1
+			}
+			return a.Task - b.Task
+		})
 		for idx := 1; idx < len(as); idx++ {
 			if as[idx].Start < as[idx-1].End-tol*math.Max(1, as[idx-1].End) {
 				return fmt.Errorf("%w: machine %d tasks %d and %d",
@@ -156,6 +196,41 @@ func (s *Schedule) VerifyDurations(in *task.Instance, p *placement.Placement,
 	}
 	return nil
 }
+
+// verifyScratch pools the buffers VerifyDurations needs: a grouped
+// copy of the assignments plus per-machine counters. Every buffer is
+// fully overwritten before use, so pooling cannot affect results.
+type verifyScratch struct {
+	groupedBuf []Assignment
+	countsBuf  []int
+	nextBuf    []int
+}
+
+func (vs *verifyScratch) grouped(n int) []Assignment {
+	if cap(vs.groupedBuf) < n {
+		vs.groupedBuf = make([]Assignment, n)
+	}
+	return vs.groupedBuf[:n]
+}
+
+func (vs *verifyScratch) counts(n int) []int {
+	if cap(vs.countsBuf) < n {
+		vs.countsBuf = make([]int, n)
+	} else {
+		vs.countsBuf = vs.countsBuf[:n]
+		clear(vs.countsBuf)
+	}
+	return vs.countsBuf
+}
+
+func (vs *verifyScratch) next(n int) []int {
+	if cap(vs.nextBuf) < n {
+		vs.nextBuf = make([]int, n)
+	}
+	return vs.nextBuf[:n]
+}
+
+var verifyPool = sync.Pool{New: func() any { return new(verifyScratch) }}
 
 func contains(set []int, x int) bool {
 	for _, v := range set {

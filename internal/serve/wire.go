@@ -1,18 +1,41 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/placement"
 	"repro/internal/sched"
 	"repro/internal/task"
 )
+
+// jsonBufPool recycles the byte buffers of the request/response paths:
+// response bodies are encoded into a pooled buffer and written in one
+// call, and request bodies are slurped into a pooled buffer before
+// decoding, so the per-request garbage is bounded by buffer churn
+// instead of body size. Buffers that grew beyond jsonBufMax are
+// dropped rather than pooled, keeping one oversized batch from
+// pinning megabytes for the server's lifetime.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const jsonBufMax = 1 << 20
+
+func getJSONBuf() *bytes.Buffer { return jsonBufPool.Get().(*bytes.Buffer) }
+
+func putJSONBuf(buf *bytes.Buffer) {
+	if buf.Cap() > jsonBufMax {
+		return
+	}
+	buf.Reset()
+	jsonBufPool.Put(buf)
+}
 
 // ScheduleRequest asks for one algorithm run on one instance.
 type ScheduleRequest struct {
@@ -136,8 +159,16 @@ type errorResponse = ErrorResponse
 // entry point for every request body (and the fuzzing surface), and is
 // exported so sibling services (the cluster dispatcher) share the same
 // decoding discipline.
-func DecodeStrict(r io.Reader, v interface{}) error {
-	dec := json.NewDecoder(r)
+func DecodeStrict(r io.Reader, v any) error {
+	// Slurp the body through a pooled buffer first: the decoder then
+	// reads from memory (no repeated small network reads), and read
+	// errors — including http.MaxBytesError — surface unchanged.
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return err
@@ -222,14 +253,19 @@ func (s *Server) decodeBatchRequest(r io.Reader) (*BatchRequest, error) {
 }
 
 // writeJSON encodes v with a trailing newline (json.Encoder
-// convention, matching the repo's other writers).
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// convention, matching the repo's other writers). The body is staged
+// in a pooled buffer and flushed with a single Write — byte-identical
+// to encoding straight into the ResponseWriter (Encode marshals fully
+// before writing, so a failed encode writes nothing in both versions).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	// Unmarshalable values are programming errors covered by tests; the
+	// empty-body behavior on failure matches the unbuffered version.
+	_ = json.NewEncoder(buf).Encode(v)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding failures past WriteHeader can only be client
-	// disconnects or unmarshalable values; the latter are programming
-	// errors covered by tests.
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeError answers with a JSON error envelope.

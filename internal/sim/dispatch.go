@@ -31,29 +31,61 @@ type ListDispatcher struct {
 // priority). It returns an error if order is not a permutation of the
 // placement's tasks.
 func NewListDispatcher(p *placement.Placement, order []int) (*ListDispatcher, error) {
+	d := &ListDispatcher{}
+	if err := d.Reset(p, order); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Reset re-initializes the dispatcher for a new placement and priority
+// order, reusing every internal buffer — per-machine queues included —
+// so a dispatcher cycling through same-shaped trials performs zero
+// steady-state allocations. All four fields are rebuilt from the
+// arguments; no state from the previous run survives.
+func (d *ListDispatcher) Reset(p *placement.Placement, order []int) error {
 	n := p.N()
 	if len(order) != n {
-		return nil, fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
+		return fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
 	}
-	seen := make([]bool, n)
+	// startedTask doubles as the permutation-check scratch: it is
+	// cleared here and fully rebuilt below either way.
+	if cap(d.startedTask) < n {
+		d.startedTask = make([]bool, n)
+	} else {
+		d.startedTask = d.startedTask[:n]
+		clear(d.startedTask)
+	}
+	seen := d.startedTask
 	for _, j := range order {
 		if j < 0 || j >= n || seen[j] {
-			return nil, fmt.Errorf("sim: priority order is not a permutation (task %d)", j)
+			return fmt.Errorf("sim: priority order is not a permutation (task %d)", j)
 		}
 		seen[j] = true
 	}
-	d := &ListDispatcher{
-		queues:      make([][]int, p.M),
-		head:        make([]int, p.M),
-		order:       order,
-		startedTask: make([]bool, n),
+	clear(d.startedTask)
+
+	if cap(d.queues) < p.M {
+		d.queues = make([][]int, p.M)
+	} else {
+		d.queues = d.queues[:p.M]
 	}
+	for i := range d.queues {
+		d.queues[i] = d.queues[i][:0]
+	}
+	if cap(d.head) < p.M {
+		d.head = make([]int, p.M)
+	} else {
+		d.head = d.head[:p.M]
+		clear(d.head)
+	}
+	d.order = order
 	for pos, j := range order {
 		for _, i := range p.Sets[j] {
 			d.queues[i] = append(d.queues[i], pos)
 		}
 	}
-	return d, nil
+	return nil
 }
 
 // Next implements Dispatcher.

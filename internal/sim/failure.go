@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -73,11 +72,12 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 
 	// Event queue over machine-idle and crash events. Crashes use
 	// machine index -1-f encoding to sort alongside idle events.
+	// Machines become idle at time zero in index order, which is
+	// already a valid (time, machine) heap.
 	q := make(eventQueue, 0, in.M+len(failures))
 	for i := 0; i < in.M; i++ {
 		q = append(q, idleEvent{time: 0, machine: i})
 	}
-	heap.Init(&q)
 	crashQ := append([]Failure(nil), failures...)
 	sort.Slice(crashQ, func(a, b int) bool { return crashQ[a].Time < crashQ[b].Time })
 
@@ -111,7 +111,7 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 		end := now + in.Tasks[j].Actual
 		running[machine] = &runState{task: j, end: end}
 		s.Assignments[j] = sched.Assignment{Task: j, Machine: machine, Start: now, End: end}
-		heap.Push(&q, idleEvent{time: end, machine: machine})
+		q.push(idleEvent{time: end, machine: machine})
 		return true
 	}
 
@@ -123,7 +123,7 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 				if dormantAt[i] > t {
 					t = dormantAt[i]
 				}
-				heap.Push(&q, idleEvent{time: t, machine: i})
+				q.push(idleEvent{time: t, machine: i})
 			}
 		}
 	}
@@ -166,9 +166,9 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 		return nil
 	}
 
-	for q.Len() > 0 || len(crashQ) > 0 {
+	for len(q) > 0 || len(crashQ) > 0 {
 		// Interleave crashes with idle events in time order.
-		if len(crashQ) > 0 && (q.Len() == 0 || crashQ[0].Time <= q[0].time) {
+		if len(crashQ) > 0 && (len(q) == 0 || crashQ[0].Time <= q[0].time) {
 			f := crashQ[0]
 			crashQ = crashQ[1:]
 			if err := crash(f); err != nil {
@@ -176,7 +176,7 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 			}
 			continue
 		}
-		ev := heap.Pop(&q).(idleEvent)
+		ev := q.pop()
 		if dead[ev.machine] {
 			continue
 		}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+// poolCase builds one (instance, dispatcher inputs) pair for the
+// reuse tests. Shapes deliberately vary — n and m both grow and
+// shrink across consecutive cases — so a reused Runner's buffers are
+// alternately too small and too large, exercising both Reset branches.
+func poolCases(t *testing.T) []*task.Instance {
+	t.Helper()
+	shapes := []struct {
+		n, m int
+		seed uint64
+	}{
+		{60, 8, 1}, {25, 4, 2}, {90, 12, 3}, {40, 6, 4}, {90, 12, 5}, {10, 2, 6},
+	}
+	ins := make([]*task.Instance, len(shapes))
+	for i, s := range shapes {
+		in := workload.MustNew(workload.Spec{
+			Name: "zipf", N: s.n, M: s.m, Alpha: 1.8, Seed: s.seed,
+		})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(s.seed^0xbeef))
+		ins[i] = in
+	}
+	return ins
+}
+
+// lptInputs builds an LPT-No Restriction phase 2 directly (everywhere
+// placement, tasks by non-increasing estimate) — the algo package
+// cannot be imported here (it imports sim).
+func lptInputs(t *testing.T, in *task.Instance) (Dispatcher, func() Dispatcher) {
+	t.Helper()
+	p := placement.Everywhere(in.N(), in.M)
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+	})
+	mk := func() Dispatcher {
+		d, err := NewListDispatcher(p, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	return mk(), mk
+}
+
+// TestRunnerReuseMatchesFreshRun is the pooling differential test:
+// one Runner carried dirty across instances of varying shape must
+// produce exactly the schedule and trace of a fresh package-level Run
+// — assignment by assignment, event by event. Any field Reset misses
+// would surface here as a difference on the first shrink-then-grow
+// transition.
+func TestRunnerReuseMatchesFreshRun(t *testing.T) {
+	var reused Runner
+	for ci, in := range poolCases(t) {
+		d1, mk := lptInputs(t, in)
+		got, err := reused.Run(in, d1, Options{Trace: true})
+		if err != nil {
+			t.Fatalf("case %d: reused runner: %v", ci, err)
+		}
+		want, err := Run(in, mk(), Options{Trace: true})
+		if err != nil {
+			t.Fatalf("case %d: fresh run: %v", ci, err)
+		}
+		if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+			t.Errorf("case %d: reused runner schedule diverges from fresh run", ci)
+		}
+		if got.Schedule.M != want.Schedule.M {
+			t.Errorf("case %d: M = %d, want %d", ci, got.Schedule.M, want.Schedule.M)
+		}
+		if !reflect.DeepEqual(got.Trace, want.Trace) {
+			t.Errorf("case %d: reused runner trace diverges from fresh run (%d vs %d events)",
+				ci, len(got.Trace), len(want.Trace))
+		}
+	}
+}
+
+// TestRunnerReuseMatchesFreshRunWithDuration repeats the differential
+// check under a Duration override (the remote-fetch penalty hook),
+// the one path where executed time and actual time differ.
+func TestRunnerReuseMatchesFreshRunWithDuration(t *testing.T) {
+	penalty := func(taskID, machine int) float64 {
+		if (taskID+machine)%3 == 0 {
+			return 2.5
+		}
+		return 1.0
+	}
+	var reused Runner
+	for ci, in := range poolCases(t) {
+		dur := func(j, i int) float64 { return in.Tasks[j].Actual * penalty(j, i) }
+		d1, mk := lptInputs(t, in)
+		got, err := reused.Run(in, d1, Options{Trace: true, Duration: dur})
+		if err != nil {
+			t.Fatalf("case %d: reused runner: %v", ci, err)
+		}
+		want, err := Run(in, mk(), Options{Trace: true, Duration: dur})
+		if err != nil {
+			t.Fatalf("case %d: fresh run: %v", ci, err)
+		}
+		if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+			t.Errorf("case %d: reused runner schedule diverges under Duration hook", ci)
+		}
+		if !reflect.DeepEqual(got.Trace, want.Trace) {
+			t.Errorf("case %d: reused runner trace diverges under Duration hook", ci)
+		}
+	}
+}
+
+// TestRunnerResultInvalidatedByNextRun pins the ownership contract:
+// the Result returned by Runner.Run aliases the Runner's internal
+// state, so callers must copy anything they keep. The test documents
+// the aliasing rather than fighting it — if this ever fails, the
+// contract comment on Runner is stale, not the code.
+func TestRunnerResultInvalidatedByNextRun(t *testing.T) {
+	ins := poolCases(t)
+	var r Runner
+	d1, _ := lptInputs(t, ins[0])
+	first, err := r.Run(ins[0], d1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstSched := first.Schedule
+	d2, _ := lptInputs(t, ins[1])
+	second, err := r.Run(ins[1], d2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstSched != second.Schedule {
+		t.Fatalf("Runner.Run returned a different *Schedule across calls; the pooling contract assumes reuse")
+	}
+}
+
+// TestRunnerPoolSharedAcrossGoroutines hammers one sync.Pool of
+// Runners from many goroutines under -race: every goroutine runs the
+// full case list through pooled runners and checks each schedule
+// against the precomputed fresh-run makespans. The race detector
+// verifies Get/Put hygiene; the makespan check verifies results are
+// not cross-contaminated between goroutines.
+func TestRunnerPoolSharedAcrossGoroutines(t *testing.T) {
+	ins := poolCases(t)
+	want := make([]float64, len(ins))
+	mks := make([]func() Dispatcher, len(ins))
+	for i, in := range ins {
+		var mk func() Dispatcher
+		_, mk = lptInputs(t, in)
+		mks[i] = mk
+		res, err := Run(in, mk(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Schedule.Makespan()
+	}
+
+	pool := sync.Pool{New: func() any { return new(Runner) }}
+	const goroutines = 8
+	const rounds = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i, in := range ins {
+					r := pool.Get().(*Runner)
+					res, err := r.Run(in, mks[i](), Options{})
+					if err != nil {
+						errs <- err
+						pool.Put(r)
+						return
+					}
+					got := res.Schedule.Makespan()
+					pool.Put(r)
+					if got != want[i] {
+						errs <- errMakespan{i, got, want[i]}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type errMakespan struct {
+	caseIdx   int
+	got, want float64
+}
+
+func (e errMakespan) Error() string {
+	return "pooled runner makespan mismatch on case " +
+		string(rune('0'+e.caseIdx)) + ": got != want"
+}
+
+// TestRunnerResetZeroesSchedule locks the Reset contract the reset
+// lint rule enforces structurally: after Reset(n, m), no assignment
+// from a previous, larger run is visible.
+func TestRunnerResetZeroesSchedule(t *testing.T) {
+	var r Runner
+	in := poolCases(t)[0]
+	d, _ := lptInputs(t, in)
+	if _, err := r.Run(in, d, Options{Trace: true}); err != nil {
+		t.Fatal(err)
+	}
+	r.Reset(3, 2)
+	if len(r.res.Trace) != 0 {
+		t.Errorf("Reset left %d trace events", len(r.res.Trace))
+	}
+	if len(r.sched.Assignments) != 3 || r.sched.M != 2 {
+		t.Fatalf("Reset shaped schedule as (%d tasks, M=%d), want (3, 2)",
+			len(r.sched.Assignments), r.sched.M)
+	}
+	for j, a := range r.sched.Assignments {
+		if a != (sched.Assignment{}) {
+			t.Errorf("assignment %d not zeroed after Reset: %+v", j, a)
+		}
+	}
+	for _, started := range r.started {
+		if started {
+			t.Error("started bitset not cleared by Reset")
+		}
+	}
+}

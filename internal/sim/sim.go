@@ -35,7 +35,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -93,23 +92,65 @@ type idleEvent struct {
 	machine int
 }
 
+// eventQueue is a specialized binary min-heap of idle events ordered
+// by (time, machine index). The specialization replaces the previous
+// container/heap implementation, whose interface{}-typed Push/Pop
+// boxed every event — two heap allocations per dispatched task on the
+// hottest loop in the repo. Keys are unique (a machine has at most one
+// pending idle event), so the pop order is the total (time, machine)
+// order regardless of heap internals, and swapping implementations
+// cannot change simulation results.
 type eventQueue []idleEvent
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(a, b int) bool {
-	if q[a].time != q[b].time {
-		return q[a].time < q[b].time
+func eventLess(a, b idleEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q[a].machine < q[b].machine
+	return a.machine < b.machine
 }
-func (q eventQueue) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(idleEvent)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+// push inserts ev, reusing the queue's capacity.
+func (q *eventQueue) push(ev idleEvent) {
+	*q = append(*q, ev)
+	h := *q
+	// Sift up.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (q *eventQueue) pop() idleEvent {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		next := left
+		if right := left + 1; right < last && eventLess(h[right], h[left]) {
+			next = right
+		}
+		if !eventLess(h[next], h[i]) {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return top
 }
 
 // Options configures a simulation run.
@@ -133,21 +174,68 @@ type Options struct {
 // Run executes the instance under the dispatcher and returns the
 // resulting schedule. It returns an error if the dispatcher starts a
 // task twice, references an unknown task, or leaves tasks unexecuted.
+// The returned Result is freshly allocated and owned by the caller;
+// hot loops that run many simulations should reuse a Runner instead.
 func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
+	var r Runner // fresh state: the returned buffers are caller-owned
+	return r.Run(in, d, opts)
+}
+
+// Runner is reusable simulation state. The zero value is ready to use;
+// each call to Run recycles the event queue, the started bitset, the
+// trace buffer, and the result schedule from the previous call, so a
+// Runner executing same-shaped instances in a loop performs zero
+// steady-state heap allocations.
+//
+// Ownership contract: the Result (schedule and trace included)
+// returned by Run is owned by the Runner and valid only until its next
+// Run call. Callers that retain results across iterations must copy
+// them — or use the package-level Run, which returns caller-owned
+// state. A Runner is not safe for concurrent use; pool Runners (e.g.
+// sync.Pool) to share across goroutines. Results are byte-identical to
+// the package-level Run: every field of the reused state is
+// re-initialized from the inputs before the event loop starts.
+type Runner struct {
+	q       eventQueue
+	started []bool
+	sched   sched.Schedule
+	res     Result
+}
+
+// Reset re-initializes every field of the Runner's reusable state for
+// an n-task, m-machine run, retaining capacity. Run calls it
+// internally; it is exported only so tests and the reset linter can
+// assert the pooling contract directly.
+func (r *Runner) Reset(n, m int) {
+	r.q = r.q[:0]
+	if cap(r.started) < n {
+		r.started = make([]bool, n)
+	} else {
+		r.started = r.started[:n]
+		clear(r.started)
+	}
+	r.sched.Reset(n, m)
+	r.res = Result{Schedule: &r.sched, Trace: r.res.Trace[:0]}
+}
+
+// Run executes the instance under the dispatcher, reusing the Runner's
+// buffers. Semantics are identical to the package-level Run; see the
+// Runner ownership contract for the lifetime of the returned Result.
+func (r *Runner) Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 	n := in.N()
-	result := &Result{Schedule: sched.New(n, in.M)}
-	started := make([]bool, n)
+	r.Reset(n, in.M)
 	startedCount := 0
 
-	q := make(eventQueue, 0, in.M)
+	// Machines 0..m-1 all become idle at time zero: pushing them in
+	// index order yields an already-valid heap (equal times, machine
+	// ascending), so no sift is needed.
 	for i := 0; i < in.M; i++ {
-		q = append(q, idleEvent{time: 0, machine: i})
+		r.q = append(r.q, idleEvent{time: 0, machine: i})
 	}
-	heap.Init(&q)
 
 	popped, dispatched := 0, 0
-	for q.Len() > 0 {
-		ev := heap.Pop(&q).(idleEvent)
+	for len(r.q) > 0 {
+		ev := r.q.pop()
 		popped++
 		j, ok := d.Next(ev.machine, ev.time)
 		dispatched++
@@ -157,10 +245,10 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 		if j < 0 || j >= n {
 			return nil, fmt.Errorf("sim: dispatcher returned invalid task %d", j)
 		}
-		if started[j] {
+		if r.started[j] {
 			return nil, fmt.Errorf("sim: dispatcher started task %d twice", j)
 		}
-		started[j] = true
+		r.started[j] = true
 		startedCount++
 		// executed is what the machine is busy for; actual is the task's
 		// true processing time p_j. They differ only under a Duration
@@ -173,17 +261,17 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 			executed = opts.Duration(j, ev.machine)
 		}
 		end := ev.time + executed
-		result.Schedule.Assignments[j] = sched.Assignment{
+		r.sched.Assignments[j] = sched.Assignment{
 			Task: j, Machine: ev.machine, Start: ev.time, End: end,
 		}
 		if opts.Trace {
-			result.Trace = append(result.Trace,
+			r.res.Trace = append(r.res.Trace,
 				Event{Time: ev.time, Machine: ev.machine, Task: j, Kind: "start"},
 				Event{Time: end, Machine: ev.machine, Task: j, Kind: "finish"},
 			)
 		}
 		d.Completed(j, ev.machine, end, actual)
-		heap.Push(&q, idleEvent{time: end, machine: ev.machine})
+		r.q.push(idleEvent{time: end, machine: ev.machine})
 	}
 	simEventsPopped.Add(int64(popped))
 	simDispatchCalls.Add(int64(dispatched))
@@ -193,9 +281,9 @@ func Run(in *task.Instance, d Dispatcher, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-startedCount, n)
 	}
 	if opts.Trace {
-		sortTrace(result.Trace)
+		sortTrace(r.res.Trace)
 	}
-	return result, nil
+	return &r.res, nil
 }
 
 // sortTrace orders events by time, finishes before starts at equal

@@ -244,11 +244,17 @@ func (in *Instance) Estimates() []float64 {
 
 // Actuals returns a fresh slice of the actual processing times.
 func (in *Instance) Actuals() []float64 {
-	out := make([]float64, len(in.Tasks))
-	for i, t := range in.Tasks {
-		out[i] = t.Actual
+	return in.AppendActuals(make([]float64, 0, len(in.Tasks)))
+}
+
+// AppendActuals appends the actual processing times to buf and returns
+// it; the allocation-free sibling of Actuals for trial loops that
+// re-score many instances with a recycled buffer.
+func (in *Instance) AppendActuals(buf []float64) []float64 {
+	for _, t := range in.Tasks {
+		buf = append(buf, t.Actual)
 	}
-	return out
+	return buf
 }
 
 // Sizes returns a fresh slice of the task memory sizes.
