@@ -173,6 +173,22 @@ func BenchmarkSimLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkOpenSimLoop measures the open-system event loop — Poisson
+// arrivals, replicate-everywhere placement, cancel-on-completion
+// racing — with everything but the pooled replay precomputed, via the
+// curated suite.
+func BenchmarkOpenSimLoop(b *testing.B) {
+	for _, s := range benchsuite.Curated() {
+		if rest, ok := strings.CutPrefix(s.Name, "OpenSimLoop/"); ok {
+			b.Run(rest, s.Run)
+		}
+	}
+}
+
+// BenchmarkOpenStreaming runs E11 (open-system response times under
+// placement and cancellation policies).
+func BenchmarkOpenStreaming(b *testing.B) { benchExperiment(b, "e11") }
+
 // BenchmarkAdversaryPipeline measures the full adversarial evaluation
 // loop used throughout the experiments: plan, perturb against the
 // placement, execute, score.

@@ -18,6 +18,11 @@
 //	  ]
 //	}'
 //
+// Streaming: POST /v1/stream takes newline-delimited schedule requests
+// and emits one NDJSON result line per item in input order, dispatching
+// concurrently under a bounded window; ?strategy=none|all|group:k
+// overrides the configured replication strategy per stream.
+//
 // The daemon drains in-flight batches on SIGINT/SIGTERM (bounded by
 // -drain) before exiting.
 package main
@@ -51,6 +56,8 @@ func main() {
 		maxTasks    = flag.Int("max-tasks", 100000, "per-instance task cap")
 		maxMachines = flag.Int("max-machines", 10000, "per-instance machine cap")
 		maxBatch    = flag.Int("max-batch", 256, "items per /v1/batch request")
+		maxStream   = flag.Int("max-stream-items", 10000, "items per /v1/stream request")
+		streamTime  = flag.Duration("stream-timeout", 5*time.Minute, "per-stream deadline")
 		noHedge     = flag.Bool("no-hedge", false, "disable duplicate dispatch of slow items")
 		hedgeQ      = flag.Float64("hedge-quantile", 0.9, "latency quantile that triggers a hedge")
 		hedgeMin    = flag.Duration("hedge-min-delay", 2*time.Millisecond, "hedge delay floor")
@@ -74,6 +81,8 @@ func main() {
 		Strategy:           *strategy,
 		Workers:            *workers,
 		MaxBatch:           *maxBatch,
+		MaxStreamItems:     *maxStream,
+		StreamTimeout:      *streamTime,
 		MaxTasks:           *maxTasks,
 		MaxMachines:        *maxMachines,
 		MaxBodyBytes:       *maxBody,

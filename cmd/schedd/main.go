@@ -15,6 +15,12 @@
 //	  "instance": {"m": 4, "alpha": 1.5, "estimates": [5,3,8,2,7,4]}
 //	}'
 //
+// Streaming: POST /v1/stream takes newline-delimited schedule requests
+// and answers one NDJSON result line per item as each is computed, and
+// POST /v1/simulate-open replays an instance under an arrival process
+// (poisson, mmpp, trace) with replica cancellation, reporting the
+// response-time distribution.
+//
 // The daemon drains in-flight requests on SIGINT/SIGTERM (bounded by
 // -drain) before exiting.
 package main
@@ -46,6 +52,8 @@ func main() {
 		maxTasks    = flag.Int("max-tasks", 100000, "per-instance task cap")
 		maxMachines = flag.Int("max-machines", 10000, "per-instance machine cap")
 		maxBatch    = flag.Int("max-batch", 256, "items per /v1/batch request")
+		maxStream   = flag.Int("max-stream-items", 10000, "items per /v1/stream request")
+		streamTime  = flag.Duration("stream-timeout", 5*time.Minute, "per-stream deadline")
 		exactLimit  = flag.Int("exact-limit", 0, "exact-optimum task cap (0 = default 20)")
 		statsFlag   = flag.Bool("stats", false, "print internal counters and timers to stderr on exit")
 	)
@@ -59,6 +67,8 @@ func main() {
 		MaxTasks:       *maxTasks,
 		MaxMachines:    *maxMachines,
 		MaxBatch:       *maxBatch,
+		MaxStreamItems: *maxStream,
+		StreamTimeout:  *streamTime,
 		ExactLimit:     *exactLimit,
 	}
 

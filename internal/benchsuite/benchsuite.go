@@ -114,6 +114,48 @@ func simLoopSpec(n int) Spec {
 	}
 }
 
+// openSimLoopSpec benchmarks the open-system event loop: Poisson
+// arrivals, replicate-everywhere placement, and cancel-on-completion
+// racing — the heaviest configuration (every machine queues every
+// task, and each completion scans for replicas to cancel). Placement,
+// order, and the arrival stream are computed once outside the timer,
+// so the measured region is exactly the pooled OpenRunner replay.
+func openSimLoopSpec(n int) Spec {
+	return Spec{
+		Name:  "OpenSimLoop/n=10k",
+		Tasks: n,
+		Run: func(b *testing.B) {
+			in := scalingInstance(n)
+			a := algo.LPTNoRestriction()
+			p, err := a.Place(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			order := a.Order(in)
+			arrive := workload.MustArrivals(n, workload.ArrivalSpec{
+				Process: "poisson",
+				Rate:    float64(in.M) / 4,
+				Seed:    3,
+			})
+			opts := sim.OpenOptions{Policy: sim.CancelOnCompletion, CancelCost: 0.1}
+			var runner sim.OpenRunner
+			// Untimed warm-up pass, as in simLoopSpec: grow the pooled
+			// buffers so the timed region measures the steady state.
+			if _, err := runner.Run(in, p, order, arrive, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Run(in, p, order, arrive, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		},
+	}
+}
+
 func estimateWarmSpec() Spec {
 	return Spec{
 		Name: "EstimateCache/warm",
@@ -162,6 +204,7 @@ func Curated() []Spec {
 		scalingSpec("Groups8/n=10k", 10_000, core.Config{Strategy: core.Groups, Groups: 8}),
 		scalingSpec("Everywhere/n=10k", 10_000, core.Config{Strategy: core.ReplicateEverywhere}),
 		simLoopSpec(100_000),
+		openSimLoopSpec(10_000),
 		estimateWarmSpec(),
 		experimentSpec("e2"),
 	}

@@ -44,14 +44,16 @@ import (
 // Cluster-wide metrics. Counters are monotone; per-backend gauges are
 // registered in newBackend.
 var (
-	mItems      = obs.GetCounter("cluster.items_total")
-	mDispatches = obs.GetCounter("cluster.dispatches_total")
-	mHedges     = obs.GetCounter("cluster.hedges_fired")
-	mHedgeWins  = obs.GetCounter("cluster.hedge_wins")
-	mRedispatch = obs.GetCounter("cluster.redispatches")
-	mRetry429   = obs.GetCounter("cluster.retries_429")
-	mBreakOpens = obs.GetCounter("cluster.breaker_opens")
-	tBatch      = obs.GetTimer("cluster.batch")
+	mItems       = obs.GetCounter("cluster.items_total")
+	mDispatches  = obs.GetCounter("cluster.dispatches_total")
+	mHedges      = obs.GetCounter("cluster.hedges_fired")
+	mHedgeWins   = obs.GetCounter("cluster.hedge_wins")
+	mRedispatch  = obs.GetCounter("cluster.redispatches")
+	mRetry429    = obs.GetCounter("cluster.retries_429")
+	mBreakOpens  = obs.GetCounter("cluster.breaker_opens")
+	mStreamItems = obs.GetCounter("cluster.stream_items")
+	tBatch       = obs.GetTimer("cluster.batch")
+	tStream      = obs.GetTimer("cluster.stream")
 )
 
 // Config parameterizes the dispatcher. The zero value of every field
@@ -71,6 +73,13 @@ type Config struct {
 	Workers int
 	// MaxBatch caps the items of one /v1/batch request. Default: 256.
 	MaxBatch int
+	// MaxStreamItems caps the items of one /v1/stream request; the
+	// stream is cut off with an error line beyond it. Default: 10000.
+	MaxStreamItems int
+	// StreamTimeout is the end-to-end deadline of one /v1/stream
+	// request. Streams are long-lived by design, so they get their own
+	// budget instead of RequestTimeout. Default: 5m.
+	StreamTimeout time.Duration
 	// MaxTasks and MaxMachines cap submitted instances, mirroring the
 	// schedd limits so the proxy rejects what its backends would.
 	// Defaults: 100000 and 10000.
@@ -133,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxStreamItems <= 0 {
+		c.MaxStreamItems = 10000
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 5 * time.Minute
 	}
 	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
 		c.HedgeQuantile = 0.9
@@ -265,6 +280,9 @@ func (c *Cluster) probeLoop(ctx context.Context, b *backend) {
 // Handler returns the proxy's HTTP surface:
 //
 //	POST /v1/batch   dispatch a batch across the backend pool
+//	POST /v1/stream  NDJSON: one schedule request per line in, one
+//	                 result line out per item, in input order, dispatched
+//	                 concurrently under a bounded window
 //	GET  /healthz    per-backend breaker and in-flight view
 //	GET  /metrics    internal/obs snapshot
 func (c *Cluster) Handler() http.Handler {
@@ -272,6 +290,7 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("POST /v1/batch", c.handleBatch)
+	mux.HandleFunc("POST /v1/stream", c.handleStream)
 	return mux
 }
 

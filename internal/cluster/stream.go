@@ -1,0 +1,185 @@
+// Streaming dispatch: the open-system counterpart of /v1/batch. The
+// proxy reads newline-delimited schedule requests, places each item on
+// a replica set the moment it arrives (online greedy, the streaming
+// analogue of replicaSets' batch greedy), dispatches items
+// concurrently under a bounded window, and emits one NDJSON result
+// line per item in input order, flushed as each completes. The window
+// is the backpressure: when Workers items are in flight the reader
+// stops consuming the request body, so a fast client is throttled to
+// the pool's service rate by TCP flow control alone.
+
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/placement"
+	"repro/internal/serve"
+)
+
+// streamPlacer assigns replica sets to items as they arrive. For
+// "none" and "group:k" it carries the running estimated load per
+// choice, so the stream placement is the online greedy least-loaded
+// rule — on identical input it matches replicaSets item for item,
+// which the metamorphic stream-vs-batch tests pin down.
+type streamPlacer struct {
+	strat  strategy
+	all    []int     // stratAll: the full backend set, shared by every item
+	groups [][]int   // stratGroup: backend partition
+	loads  []float64 // running estimated load per backend (none) or group
+}
+
+func (c *Cluster) newStreamPlacer(strat strategy) (*streamPlacer, error) {
+	p := &streamPlacer{strat: strat}
+	nb := len(c.backends)
+	switch strat.kind {
+	case stratAll:
+		p.all = make([]int, nb)
+		for i := range p.all {
+			p.all[i] = i
+		}
+	case stratNone:
+		p.loads = make([]float64, nb)
+	case stratGroup:
+		groups, err := placement.PartitionGroups(nb, strat.k)
+		if err != nil {
+			return nil, err
+		}
+		p.groups = groups
+		p.loads = make([]float64, strat.k)
+	}
+	return p, nil
+}
+
+// place returns the replica set of the next item. Not safe for
+// concurrent use; the stream reader calls it from one goroutine.
+func (p *streamPlacer) place(req *serve.ScheduleRequest) []int {
+	switch p.strat.kind {
+	case stratNone:
+		best := argminLoad(p.loads)
+		p.loads[best] += itemEstimate(req)
+		return []int{best}
+	case stratGroup:
+		g := argminLoad(p.loads)
+		p.loads[g] += itemEstimate(req)
+		return p.groups[g]
+	default:
+		return p.all
+	}
+}
+
+// handleStream serves POST /v1/stream. The optional ?strategy= query
+// parameter overrides the configured replication strategy for this
+// stream (the streaming analogue of the batch placement override;
+// explicit replica sets need the whole batch up front, so they have no
+// streaming form).
+func (c *Cluster) handleStream(w http.ResponseWriter, r *http.Request) {
+	defer tStream.Start()()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes)
+	}
+	strat := c.strat
+	if qs := r.URL.Query().Get("strategy"); qs != "" {
+		var err error
+		if strat, err = parseStrategy(qs, len(c.backends)); err != nil {
+			writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+	placer, err := c.newStreamPlacer(strat)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.StreamTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// The reader goroutine turns lines into single-use future channels
+	// and enqueues them in input order; items needing a backend are
+	// dispatched concurrently, invalid ones resolve immediately. The
+	// bounded queue is both the ordering buffer and the in-flight
+	// window.
+	futures := make(chan chan Item, c.cfg.Workers)
+	go func() {
+		defer close(futures)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), int(c.cfg.MaxBodyBytes))
+		idx := 0
+		emit := func(fut chan Item) bool {
+			select {
+			case futures <- fut:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			fut := make(chan Item, 1)
+			if idx >= c.cfg.MaxStreamItems {
+				fut <- Item{Index: idx, Error: fmt.Sprintf("stream exceeds %d items", c.cfg.MaxStreamItems)}
+				emit(fut)
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			mStreamItems.Inc()
+			var req serve.ScheduleRequest
+			if err := serve.DecodeStrict(bytes.NewReader(line), &req); err != nil {
+				fut <- Item{Index: idx, Error: err.Error()}
+			} else if err := c.checkItem(&req); err != nil {
+				fut <- Item{Index: idx, Error: err.Error()}
+			} else {
+				set := placer.place(&req)
+				i, r := idx, req
+				go func() { fut <- c.dispatchItem(ctx, i, &r, set) }()
+			}
+			if !emit(fut) {
+				return
+			}
+			idx++
+		}
+		if err := sc.Err(); err != nil {
+			fut := make(chan Item, 1)
+			fut <- Item{Index: idx, Error: "stream read: " + err.Error()}
+			emit(fut)
+		}
+	}()
+
+	// Drain in order. Every future receives exactly one Item —
+	// dispatchItem returns promptly once ctx expires — so this loop
+	// terminates even when the deadline cuts the stream short.
+	for fut := range futures {
+		item := <-fut
+		writeNDJSON(w, flusher, item)
+	}
+}
+
+// writeNDJSON emits one result line through the pooled-buffer path and
+// flushes it, so the client observes each item as it completes.
+func writeNDJSON(w http.ResponseWriter, flusher http.Flusher, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= jsonBufMax {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	_ = json.NewEncoder(buf).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

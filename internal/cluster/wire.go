@@ -87,20 +87,7 @@ func (c *Cluster) validateBatch(req *BatchRequest) error {
 		return fmt.Errorf("batch has %d items, limit %d", len(req.Requests), c.cfg.MaxBatch)
 	}
 	for i := range req.Requests {
-		if req.Requests[i].Algorithm == "" {
-			return fmt.Errorf("item %d: missing algorithm", i)
-		}
-		in := req.Requests[i].Instance
-		if in == nil {
-			return fmt.Errorf("item %d: missing instance", i)
-		}
-		if in.N() > c.cfg.MaxTasks {
-			return fmt.Errorf("item %d: instance has %d tasks, limit %d", i, in.N(), c.cfg.MaxTasks)
-		}
-		if in.M > c.cfg.MaxMachines {
-			return fmt.Errorf("item %d: instance has %d machines, limit %d", i, in.M, c.cfg.MaxMachines)
-		}
-		if err := in.Validate(true); err != nil {
+		if err := c.checkItem(&req.Requests[i]); err != nil {
 			return fmt.Errorf("item %d: %w", i, err)
 		}
 	}
@@ -110,6 +97,26 @@ func (c *Cluster) validateBatch(req *BatchRequest) error {
 		}
 	}
 	return nil
+}
+
+// checkItem applies the proxy's per-item limits and the centralized
+// instance validation to one work item. Shared by the batch and
+// streaming paths so both admit exactly the same items.
+func (c *Cluster) checkItem(req *serve.ScheduleRequest) error {
+	if req.Algorithm == "" {
+		return errors.New("missing algorithm")
+	}
+	in := req.Instance
+	if in == nil {
+		return errors.New("missing instance")
+	}
+	if in.N() > c.cfg.MaxTasks {
+		return fmt.Errorf("instance has %d tasks, limit %d", in.N(), c.cfg.MaxTasks)
+	}
+	if in.M > c.cfg.MaxMachines {
+		return fmt.Errorf("instance has %d machines, limit %d", in.M, c.cfg.MaxMachines)
+	}
+	return in.Validate(true)
 }
 
 func (c *Cluster) validatePlacementSpec(spec *PlacementSpec, n int) error {

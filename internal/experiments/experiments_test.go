@@ -20,7 +20,7 @@ func runQuick(t *testing.T, id string) string {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"e1", "e10", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+	want := []string{"e1", "e10", "e11", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2"}
 	got := IDs()
 	if len(got) != len(want) {
@@ -238,6 +238,47 @@ func TestE10Output(t *testing.T) {
 	}
 }
 
+func TestE11Output(t *testing.T) {
+	out := runQuick(t, "e11")
+	for _, want := range []string{"poisson, load 0.15", "poisson, load 0.5",
+		"mmpp (bursty), load 0.15", "p999", "wasted %", "no-replication",
+		"cancel-on-start", "cancel-on-completion"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e11 missing %q:\n%s", want, out)
+		}
+	}
+	// The two cancellation policies must measurably diverge: the
+	// cancel-on-completion rows race replicas, so they report non-zero
+	// cancellations and different response quantiles than their
+	// cancel-on-start twins.
+	rowOf := func(section, label string) string {
+		_, rest, ok := strings.Cut(out, "-- "+section+" --")
+		if !ok {
+			t.Fatalf("e11 missing section %q", section)
+		}
+		for _, line := range strings.Split(rest, "\n") {
+			if strings.Contains(line, label) {
+				return line
+			}
+		}
+		t.Fatalf("e11 section %q missing row %q:\n%s", section, label, out)
+		return ""
+	}
+	for _, section := range []string{"poisson, load 0.15", "mmpp (bursty), load 0.15"} {
+		start := rowOf(section, "all + cancel-on-start")
+		completion := rowOf(section, "all + cancel-on-completion")
+		if strings.TrimSpace(strings.TrimPrefix(start, "all + cancel-on-start")) ==
+			strings.TrimSpace(strings.TrimPrefix(completion, "all + cancel-on-completion")) {
+			t.Fatalf("e11 %s: cancellation policies did not diverge:\n%s\n%s", section, start, completion)
+		}
+		// The cancelled column is last: racing replicas must actually
+		// cancel some, so the row cannot end in a bare 0.
+		if strings.HasSuffix(strings.TrimSpace(completion), " 0") {
+			t.Fatalf("e11 %s: cancel-on-completion never cancelled a replica:\n%s", section, completion)
+		}
+	}
+}
+
 func TestRunAllQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("RunAll is slow; run without -short")
@@ -257,7 +298,7 @@ func TestDeterministicOutputs(t *testing.T) {
 	// Identical options must produce byte-identical reports for the
 	// pure-analytic experiments and the seeded empirical ones (e5
 	// prints wall time, so it is excluded).
-	for _, id := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "e1", "e3", "e4", "e6", "e7", "e8", "e9", "e10"} {
+	for _, id := range []string{"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "e1", "e3", "e4", "e6", "e7", "e8", "e9", "e10", "e11"} {
 		a := runQuick(t, id)
 		b := runQuick(t, id)
 		if a != b {

@@ -6,12 +6,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule    run one named algorithm on one instance
-//	POST /v1/simulate    semi-clairvoyant replay with per-machine trace
-//	POST /v1/batch       many schedule requests, bounded fan-out
-//	GET  /v1/algorithms  the algorithm registry
-//	GET  /healthz        liveness and saturation
-//	GET  /metrics        internal/obs counters, gauges and timers
+//	POST /v1/schedule       run one named algorithm on one instance
+//	POST /v1/simulate       semi-clairvoyant replay with per-machine trace
+//	POST /v1/simulate-open  open-system replay: arrivals over time,
+//	                        replica cancellation, response-time stats
+//	POST /v1/batch          many schedule requests, bounded fan-out
+//	POST /v1/stream         NDJSON: one schedule request per line in, one
+//	                        result line out per item, flushed as computed
+//	GET  /v1/algorithms     the algorithm registry
+//	GET  /healthz           liveness and saturation
+//	GET  /metrics           internal/obs counters, gauges and timers
 //
 // The server is built to take hostile, concurrent traffic without
 // falling over:
@@ -51,10 +55,13 @@ var (
 	mRejected   = obs.GetCounter("serve.rejected_429")
 	mPanics     = obs.GetCounter("serve.panics_recovered")
 	mBatchItems = obs.GetCounter("serve.batch_items")
+	mStreamItem = obs.GetCounter("serve.stream_items")
 	mInflight   = obs.GetGauge("serve.inflight")
 	tSchedule   = obs.GetTimer("serve.schedule")
 	tSimulate   = obs.GetTimer("serve.simulate")
 	tBatch      = obs.GetTimer("serve.batch")
+	tStream     = obs.GetTimer("serve.stream")
+	tSimOpen    = obs.GetTimer("serve.simulate_open")
 )
 
 // Config bounds the server. The zero value selects the defaults
@@ -81,6 +88,13 @@ type Config struct {
 	// RequestTimeout is the per-request context deadline.
 	// Default: 30s.
 	RequestTimeout time.Duration
+	// MaxStreamItems caps the items of one /v1/stream request; the
+	// stream is cut off with an error line beyond it. Default: 10000.
+	MaxStreamItems int
+	// StreamTimeout is the context deadline of one /v1/stream request.
+	// Streams outlive ordinary requests by design (the client may trickle
+	// items), so they get their own, longer budget. Default: 5m.
+	StreamTimeout time.Duration
 	// ExactLimit is passed to opt.Estimate: instances up to this many
 	// tasks are scored against the exact optimum. 0 selects the opt
 	// default (20). Keep it small — it bounds per-request CPU.
@@ -108,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxStreamItems <= 0 {
+		c.MaxStreamItems = 10000
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 5 * time.Minute
 	}
 	return c
 }
@@ -144,7 +164,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("POST /v1/schedule", s.gated(tSchedule, s.handleSchedule))
 	mux.HandleFunc("POST /v1/simulate", s.gated(tSimulate, s.handleSimulate))
+	mux.HandleFunc("POST /v1/simulate-open", s.gated(tSimOpen, s.handleSimulateOpen))
 	mux.HandleFunc("POST /v1/batch", s.gated(tBatch, s.handleBatch))
+	mux.HandleFunc("POST /v1/stream", s.gatedFor(tStream, s.cfg.StreamTimeout, s.handleStream))
 	return s.instrument(mux)
 }
 
@@ -188,6 +210,13 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // gated wraps a solver-heavy handler with the shared backpressure
 // semaphore, the per-request deadline, and a latency timer.
 func (s *Server) gated(timer *obs.Timer, h http.HandlerFunc) http.HandlerFunc {
+	return s.gatedFor(timer, s.cfg.RequestTimeout, h)
+}
+
+// gatedFor is gated with an explicit deadline; /v1/stream uses it to
+// run under the longer StreamTimeout while holding one ordinary
+// semaphore slot for the whole stream.
+func (s *Server) gatedFor(timer *obs.Timer, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
@@ -202,7 +231,7 @@ func (s *Server) gated(timer *obs.Timer, h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		defer timer.Start()()
-		ctx, cancel := contextWithTimeout(r, s.cfg.RequestTimeout)
+		ctx, cancel := contextWithTimeout(r, timeout)
 		defer cancel()
 		h(w, r.WithContext(ctx))
 	}

@@ -197,6 +197,16 @@ func (s *Server) checkInstance(in *task.Instance) error {
 	return in.Validate(true)
 }
 
+// validateScheduleRequest applies the full /v1/schedule validation to
+// an already-decoded request. It is shared by the single, batch, and
+// streaming entry points so every path admits exactly the same items.
+func (s *Server) validateScheduleRequest(req *ScheduleRequest) error {
+	if req.Algorithm == "" {
+		return errors.New("missing algorithm")
+	}
+	return s.checkInstance(req.Instance)
+}
+
 // decodeScheduleRequest decodes and fully validates a /v1/schedule
 // body. Anything it accepts is safe to hand to the solvers.
 func (s *Server) decodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
@@ -204,10 +214,7 @@ func (s *Server) decodeScheduleRequest(r io.Reader) (*ScheduleRequest, error) {
 	if err := DecodeStrict(r, &req); err != nil {
 		return nil, err
 	}
-	if req.Algorithm == "" {
-		return nil, errors.New("missing algorithm")
-	}
-	if err := s.checkInstance(req.Instance); err != nil {
+	if err := s.validateScheduleRequest(&req); err != nil {
 		return nil, err
 	}
 	return &req, nil
@@ -242,10 +249,7 @@ func (s *Server) decodeBatchRequest(r io.Reader) (*BatchRequest, error) {
 		return nil, fmt.Errorf("batch has %d items, limit %d", len(req.Requests), s.cfg.MaxBatch)
 	}
 	for i := range req.Requests {
-		if req.Requests[i].Algorithm == "" {
-			return nil, fmt.Errorf("item %d: missing algorithm", i)
-		}
-		if err := s.checkInstance(req.Requests[i].Instance); err != nil {
+		if err := s.validateScheduleRequest(&req.Requests[i]); err != nil {
 			return nil, fmt.Errorf("item %d: %w", i, err)
 		}
 	}

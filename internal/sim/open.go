@@ -1,0 +1,498 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/task"
+)
+
+// This file implements the open-system streaming mode: tasks arrive
+// over time instead of all being released at t=0, the metric is the
+// per-task response-time distribution instead of makespan, and
+// replicated tasks interact through an explicit cancellation policy.
+// It is the setting of Wang/Joshi/Wornell (arXiv:1404.1328) and
+// Sun/Koksal/Shroff (arXiv:1603.07322) applied to the paper's phase-1
+// placements: a task may only run on machines in its replica set, and
+// whether replication helps or hurts the tail depends on the
+// cancellation policy and the service-time shape.
+//
+// # Event model
+//
+// Two deterministic event streams drive the loop: the sorted arrival
+// times (indexed by task ID, required non-decreasing) and a binary
+// min-heap of machine events ordered by (time, machine index) — the
+// same specialization as the batch simulator's eventQueue, extended
+// with a per-machine sequence number so that cancellations can
+// invalidate a machine's scheduled completion without deleting it from
+// the heap (the stale entry is skipped when popped). At equal times
+// arrivals are processed before machine events, so a machine going
+// idle at time t sees every task that arrived at t.
+//
+// # Metamorphic anchor
+//
+// With every arrival at t=0 and CancelOnStart, the open loop is
+// observationally identical to the batch simulator under a
+// ListDispatcher: arrival processing builds exactly the per-machine
+// priority queues of ListDispatcher.Reset, machines wake at time zero
+// in index order exactly as Run pushes them, and the dispatch scan
+// applies the same skip-started rule. TestOpenMatchesBatch pins this
+// byte-for-byte.
+
+var (
+	openRuns          = obs.GetCounter("sim.open_runs")
+	openEventsPopped  = obs.GetCounter("sim.open_events_popped")
+	openStaleSkipped  = obs.GetCounter("sim.open_stale_skipped")
+	openCancellations = obs.GetCounter("sim.open_cancelled_replicas")
+)
+
+// CancelPolicy selects how redundant replicas of a task are retired.
+type CancelPolicy uint8
+
+const (
+	// CancelOnStart cancels a task's queued siblings the moment one
+	// replica starts executing: at most one copy of a task ever runs,
+	// replication only widens the choice of which machine runs it.
+	CancelOnStart CancelPolicy = iota
+	// CancelOnCompletion lets every machine in the replica set start
+	// its own copy as it frees up; the first completion wins and the
+	// other running copies are cancelled, each costing CancelCost extra
+	// machine time. This trades wasted capacity for tail latency — the
+	// regime studied by the cited open-system papers.
+	CancelOnCompletion
+)
+
+// String returns the policy's experiment-output name.
+func (p CancelPolicy) String() string {
+	switch p {
+	case CancelOnStart:
+		return "cancel-on-start"
+	case CancelOnCompletion:
+		return "cancel-on-completion"
+	default:
+		return fmt.Sprintf("CancelPolicy(%d)", uint8(p))
+	}
+}
+
+// ParseCancelPolicy resolves a policy's String() name (the wire and
+// flag spelling). The empty string selects CancelOnStart, the
+// zero-waste default.
+func ParseCancelPolicy(s string) (CancelPolicy, error) {
+	switch s {
+	case "", "cancel-on-start":
+		return CancelOnStart, nil
+	case "cancel-on-completion":
+		return CancelOnCompletion, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown cancellation policy %q (want cancel-on-start or cancel-on-completion)", s)
+	}
+}
+
+// OpenOptions configures an open-system run.
+type OpenOptions struct {
+	// Policy selects the replica cancellation policy.
+	Policy CancelPolicy
+	// CancelCost is the machine-time penalty paid by each machine whose
+	// running replica is cancelled (it becomes idle at cancel time +
+	// CancelCost). Must be non-negative and finite. Only
+	// CancelOnCompletion incurs it: CancelOnStart never cancels a
+	// running replica.
+	CancelCost float64
+	// Duration, when non-nil, overrides the executed duration of a
+	// replica of a task on a machine; the default is the task's actual
+	// processing time. Same contract as Options.Duration: deterministic,
+	// non-negative, drives only the clock. Under CancelOnCompletion it
+	// is called once per started replica, and per-(task,machine)
+	// variation is what makes racing replicas meaningful — identical
+	// durations make the extra copies pure waste.
+	Duration func(taskID, machine int) float64
+}
+
+// OpenResult bundles the outcome of an open-system run. The ownership
+// contract matches the batch Runner: results returned by an
+// OpenRunner are valid only until its next Run call; the package-level
+// RunOpen returns caller-owned state.
+type OpenResult struct {
+	// Schedule records the winning replica of every task (the copy
+	// whose completion defined the task's response time). Cancelled
+	// replicas do not appear; their cost shows up in WastedTime.
+	Schedule *sched.Schedule
+	// Responses is indexed by task ID: completion time − arrival time.
+	Responses []float64
+	// CancelledReplicas counts replica executions that were cancelled
+	// mid-run (always 0 under CancelOnStart).
+	CancelledReplicas int
+	// WastedTime is the machine time burned on cancelled replicas,
+	// including the per-cancellation CancelCost.
+	WastedTime float64
+	// End is the time the system drains: the last instant any machine
+	// is busy (including cancellation penalties).
+	End float64
+}
+
+// openEvent is a scheduled machine event (a completion or a wake-up).
+// seq invalidates superseded events: only the event whose seq matches
+// the machine's current sequence number is live, so a cancellation
+// re-schedules a machine by pushing a fresh event instead of deleting
+// the stale one from the middle of the heap.
+type openEvent struct {
+	time    float64
+	machine int
+	seq     uint64
+}
+
+// openQueue is the open-mode instantiation of the specialized binary
+// min-heap from sim.go, ordered by (time, machine index). Unlike
+// eventQueue its (time, machine) keys are not unique — a superseded
+// event coexists with its replacement — but at most one event per
+// machine is live (seq check), so the pop order of live events is
+// still the total (time, machine) order and heap internals cannot
+// change simulation results.
+type openQueue []openEvent
+
+func openEventLess(a, b openEvent) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.machine < b.machine
+}
+
+// push inserts ev, reusing the queue's capacity.
+func (q *openQueue) push(ev openEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !openEventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (q *openQueue) pop() openEvent {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		next := left
+		if right := left + 1; right < last && openEventLess(h[right], h[left]) {
+			next = right
+		}
+		if !openEventLess(h[next], h[i]) {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return top
+}
+
+// RunOpen executes an open-system run and returns caller-owned state.
+// Hot loops should reuse an OpenRunner instead.
+func RunOpen(in *task.Instance, p *placement.Placement, order []int, arrive []float64, opts OpenOptions) (*OpenResult, error) {
+	var r OpenRunner // fresh state: the returned buffers are caller-owned
+	return r.Run(in, p, order, arrive, opts)
+}
+
+// OpenRunner is reusable open-system simulation state, the streaming
+// counterpart of Runner. The zero value is ready to use; each Run
+// recycles every buffer from the previous call, so a runner cycling
+// through same-shaped instances performs zero steady-state heap
+// allocations. Not safe for concurrent use; results are valid only
+// until the next Run call and byte-identical to the package-level
+// RunOpen.
+type OpenRunner struct {
+	q openQueue
+	// seq[i] is machine i's current event sequence number; a popped
+	// event is live iff its seq matches.
+	seq []uint64
+	// active[i] reports whether machine i has a live scheduled event
+	// (it is busy or waking); inactive machines are dormant and must be
+	// woken by an arrival.
+	active []bool
+	// runningTask[i] is the task machine i is executing, -1 if none.
+	runningTask []int
+	// runStart[i] is when machine i started its current replica.
+	runStart []float64
+	// queues[i] holds positions into order of tasks eligible on machine
+	// i that have arrived, sorted by position (priority). head[i] is the
+	// next position to examine; entries before it are dead.
+	queues [][]int
+	head   []int
+	// order is the caller's priority order; started/done are per-task
+	// flags (started gates CancelOnStart, done gates both policies).
+	order     []int
+	started   []bool
+	done      []bool
+	sched     sched.Schedule
+	responses []float64
+	res       OpenResult
+}
+
+// Reset re-initializes every field of the OpenRunner's reusable state
+// for an n-task, m-machine run, retaining capacity. Run calls it
+// internally; it is exported only so tests and the reset linter can
+// assert the pooling contract directly.
+func (r *OpenRunner) Reset(n, m int) {
+	r.q = r.q[:0]
+	if cap(r.seq) < m {
+		r.seq = make([]uint64, m)
+	} else {
+		r.seq = r.seq[:m]
+		clear(r.seq)
+	}
+	if cap(r.active) < m {
+		r.active = make([]bool, m)
+	} else {
+		r.active = r.active[:m]
+		clear(r.active)
+	}
+	if cap(r.runningTask) < m {
+		r.runningTask = make([]int, m)
+	} else {
+		r.runningTask = r.runningTask[:m]
+	}
+	for i := range r.runningTask {
+		r.runningTask[i] = -1
+	}
+	if cap(r.runStart) < m {
+		r.runStart = make([]float64, m)
+	} else {
+		r.runStart = r.runStart[:m]
+		clear(r.runStart)
+	}
+	if cap(r.queues) < m {
+		r.queues = make([][]int, m)
+	} else {
+		r.queues = r.queues[:m]
+	}
+	for i := range r.queues {
+		r.queues[i] = r.queues[i][:0]
+	}
+	if cap(r.head) < m {
+		r.head = make([]int, m)
+	} else {
+		r.head = r.head[:m]
+		clear(r.head)
+	}
+	r.order = nil // set by Run after permutation validation
+	if cap(r.started) < n {
+		r.started = make([]bool, n)
+	} else {
+		r.started = r.started[:n]
+		clear(r.started)
+	}
+	if cap(r.done) < n {
+		r.done = make([]bool, n)
+	} else {
+		r.done = r.done[:n]
+		clear(r.done)
+	}
+	r.sched.Reset(n, m)
+	if cap(r.responses) < n {
+		r.responses = make([]float64, n)
+	} else {
+		r.responses = r.responses[:n]
+		clear(r.responses)
+	}
+	r.res = OpenResult{Schedule: &r.sched, Responses: r.responses}
+}
+
+// wake schedules a live idle event for machine i at time t,
+// superseding any stale event still in the heap.
+func (r *OpenRunner) wake(i int, t float64) {
+	r.seq[i]++
+	r.active[i] = true
+	r.q.push(openEvent{time: t, machine: i, seq: r.seq[i]})
+}
+
+// enqueue inserts priority position pos into machine i's queue,
+// keeping the live suffix sorted by position. Entries before head[i]
+// are dead and never revisited, so insertion is clamped to the live
+// region — a late high-priority arrival sorts to the front of what the
+// machine has not yet consumed.
+func (r *OpenRunner) enqueue(i, pos int) {
+	q := r.queues[i]
+	lo, hi := r.head[i], len(q)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if q[mid] < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q = append(q, 0)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = pos
+	r.queues[i] = q
+}
+
+// Run executes an open-system simulation: tasks arrive at the given
+// times (indexed by task ID, non-decreasing, non-negative and finite),
+// may only run on machines in their placement replica set, and within
+// a machine are picked in the caller's priority order among arrived
+// eligible tasks. It returns an error for invalid inputs or if any
+// task is never executed. See the OpenRunner ownership contract for
+// the lifetime of the returned OpenResult.
+func (r *OpenRunner) Run(in *task.Instance, p *placement.Placement, order []int, arrive []float64, opts OpenOptions) (*OpenResult, error) {
+	n := in.N()
+	m := in.M
+	if p.N() != n || p.M != m {
+		return nil, fmt.Errorf("sim: placement shape (%d tasks, %d machines) does not match instance (%d, %d)", p.N(), p.M, n, m)
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
+	}
+	if len(arrive) != n {
+		return nil, fmt.Errorf("sim: %d arrival times for %d tasks", len(arrive), n)
+	}
+	prev := 0.0
+	for j, t := range arrive {
+		if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+			return nil, fmt.Errorf("sim: arrival %d is %v (want finite, non-negative)", j, t)
+		}
+		if t < prev {
+			return nil, fmt.Errorf("sim: arrival times not sorted at task %d", j)
+		}
+		prev = t
+	}
+	if math.IsNaN(opts.CancelCost) || math.IsInf(opts.CancelCost, 0) || opts.CancelCost < 0 {
+		return nil, fmt.Errorf("sim: cancel cost %v (want finite, non-negative)", opts.CancelCost)
+	}
+	if opts.Policy != CancelOnStart && opts.Policy != CancelOnCompletion {
+		return nil, fmt.Errorf("sim: unknown cancel policy %d", opts.Policy)
+	}
+
+	r.Reset(n, m)
+	// Permutation check, reusing done as scratch (cleared again below).
+	seen := r.done
+	for _, j := range order {
+		if j < 0 || j >= n || seen[j] {
+			return nil, fmt.Errorf("sim: priority order is not a permutation (task %d)", j)
+		}
+		seen[j] = true
+	}
+	clear(r.done)
+	r.order = order
+
+	// Arrival events enqueue priority positions, so they need the
+	// inverse permutation of order. It is staged in the schedule's Task
+	// fields — dead storage until a task completes, and a task's entry
+	// is only overwritten after its arrival has read it — keeping the
+	// runner free of a dedicated scratch slice.
+	inv := r.sched.Assignments
+	for pos, j := range order {
+		inv[j].Task = pos
+	}
+
+	completed := 0
+	ai := 0 // next arrival to admit
+	for ai < n || len(r.q) > 0 {
+		// Interleave the two sorted streams; arrivals first at ties so a
+		// machine going idle at t sees every task arriving at t.
+		if ai < n && (len(r.q) == 0 || arrive[ai] <= r.q[0].time) {
+			j := ai
+			t := arrive[ai]
+			ai++
+			pos := inv[j].Task
+			for _, i := range p.Sets[j] {
+				r.enqueue(i, pos)
+				if !r.active[i] {
+					r.wake(i, t)
+				}
+			}
+			continue
+		}
+
+		ev := r.q.pop()
+		openEventsPopped.Inc()
+		i := ev.machine
+		if ev.seq != r.seq[i] {
+			openStaleSkipped.Inc()
+			continue // superseded by a cancellation re-schedule
+		}
+		now := ev.time
+
+		// A live event on a busy machine is its replica completing.
+		if j := r.runningTask[i]; j >= 0 {
+			r.runningTask[i] = -1
+			r.done[j] = true
+			completed++
+			r.responses[j] = now - arrive[j]
+			if r.res.End < now {
+				r.res.End = now
+			}
+			r.sched.Assignments[j] = sched.Assignment{
+				Task: j, Machine: i, Start: r.runStart[i], End: now,
+			}
+			if opts.Policy == CancelOnCompletion {
+				for k := 0; k < m; k++ {
+					if k == i || r.runningTask[k] != j {
+						continue
+					}
+					// Cancel the losing replica: its machine time so far
+					// plus the cancellation penalty is pure waste, and the
+					// machine frees up only after paying the penalty.
+					r.runningTask[k] = -1
+					r.res.CancelledReplicas++
+					openCancellations.Inc()
+					r.res.WastedTime += (now - r.runStart[k]) + opts.CancelCost
+					free := now + opts.CancelCost
+					if r.res.End < free {
+						r.res.End = free
+					}
+					r.wake(k, free)
+				}
+			}
+		}
+
+		// Dispatch: highest-priority arrived eligible task not yet dead.
+		startedTask := -1
+		q := r.queues[i]
+		for r.head[i] < len(q) {
+			j := order[q[r.head[i]]]
+			if r.done[j] || (opts.Policy == CancelOnStart && r.started[j]) {
+				r.head[i]++
+				continue
+			}
+			startedTask = j
+			r.head[i]++
+			break
+		}
+		if startedTask < 0 {
+			r.active[i] = false // dormant until an eligible arrival wakes it
+			continue
+		}
+		j := startedTask
+		r.started[j] = true
+		r.runningTask[i] = j
+		r.runStart[i] = now
+		executed := in.Tasks[j].Actual
+		if opts.Duration != nil {
+			executed = opts.Duration(j, i)
+		}
+		r.wake(i, now+executed)
+	}
+	openRuns.Inc()
+
+	if completed != n {
+		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-completed, n)
+	}
+	return &r.res, nil
+}

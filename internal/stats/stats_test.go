@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -28,8 +30,81 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestSummarizeSingle(t *testing.T) {
 	s := Summarize([]float64{7})
-	if s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.P99 != 7 {
+	if s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.P99 != 7 || s.P999 != 7 {
 		t.Fatalf("single summary = %+v", s)
+	}
+	// N==1 contract: no dispersion estimate, so the CI half-width is
+	// exactly zero and String renders the ±0 explicitly.
+	if s.CI95() != 0 {
+		t.Fatalf("single-sample CI = %v, want 0", s.CI95())
+	}
+	if got := s.String(); !strings.Contains(got, "n=1") || !strings.Contains(got, "±0") {
+		t.Fatalf("single-sample String = %q", got)
+	}
+}
+
+func TestSummarizeRejectsNaNSamples(t *testing.T) {
+	// Regression: NaN samples used to be sorted silently (NaN fails
+	// every comparison, so sort.Float64s leaves it in an unspecified
+	// position) and every quantile came out garbage. They now panic,
+	// matching the existing NaN-q contract.
+	cases := [][]float64{
+		{math.NaN()},
+		{1, math.NaN(), 3},
+		{1, 2, math.NaN()},
+	}
+	for _, xs := range cases {
+		xs := xs
+		t.Run(fmt.Sprintf("%v", xs), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Summarize(%v): expected panic", xs)
+				}
+			}()
+			Summarize(xs)
+		})
+	}
+}
+
+func TestQuantileRejectsNaNSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile with NaN sample: expected panic")
+		}
+	}()
+	Quantile([]float64{1, math.NaN(), 3}, 0.5)
+}
+
+func TestStringIncludesP99(t *testing.T) {
+	// Regression: Summarize computed P99 but String never printed it.
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if got := s.String(); !strings.Contains(got, "p99=99") {
+		t.Fatalf("String missing p99: %q", got)
+	}
+}
+
+func TestStringEmptySample(t *testing.T) {
+	// N==0 contract: a fixed marker, not a row of meaningless zeros.
+	if got := (Summary{}).String(); got != "n=0 (empty sample)" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestP999OrderingAndValue(t *testing.T) {
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.P99 > s.P999 || s.P999 > s.Max {
+		t.Fatalf("quantile ordering violated: p99=%v p999=%v max=%v", s.P99, s.P999, s.Max)
+	}
+	if math.Abs(s.P999-0.999*9999) > 1e-9 {
+		t.Fatalf("p999 = %v, want %v", s.P999, 0.999*9999)
 	}
 }
 
@@ -115,7 +190,8 @@ func TestSummaryOrderingProperty(t *testing.T) {
 		}
 		s := Summarize(xs)
 		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
-			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+			s.P99 <= s.P999 && s.P999 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/task"
+)
+
+// WriteCSVArrivals exports an instance plus per-task arrival times as
+// CSV with header "task,estimate,actual,size,arrival" — the
+// trace-interchange format for the open-system streaming mode. The
+// 4-column format of WriteCSV stays untouched (its fuzz corpus pins
+// it); this is a separate, wider schema.
+func WriteCSVArrivals(w io.Writer, in *task.Instance, arrivals []float64) error {
+	if err := CheckArrivals(arrivals, len(in.Tasks)); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"task", "estimate", "actual", "size", "arrival"}); err != nil {
+		return err
+	}
+	for i, t := range in.Tasks {
+		rec := []string{
+			strconv.Itoa(t.ID),
+			strconv.FormatFloat(t.Estimate, 'g', -1, 64),
+			strconv.FormatFloat(t.Actual, 'g', -1, 64),
+			strconv.FormatFloat(t.Size, 'g', -1, 64),
+			strconv.FormatFloat(arrivals[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSVArrivals imports an instance and its arrival times from the
+// WriteCSVArrivals format. Column order is fixed; the "actual" and
+// "size" columns may be empty (actuals default to the estimates,
+// sizes to zero) but "arrival" is required on every row. Task IDs are
+// reassigned in row order; rows must already be sorted by arrival
+// (CheckArrivals enforces it — a trace row order IS the admission
+// order, so an out-of-order trace is a malformed file, not something
+// to silently re-sort under the task IDs).
+func ReadCSVArrivals(r io.Reader, m int, alpha float64) (*task.Instance, []float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload: reading CSV header: %w", err)
+	}
+	if header[0] != "task" || header[1] != "estimate" || header[4] != "arrival" {
+		return nil, nil, fmt.Errorf("workload: unexpected CSV header %v", header)
+	}
+	in := &task.Instance{M: m, Alpha: alpha}
+	var arrivals []float64
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: CSV row %d: %w", row, err)
+		}
+		est, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: CSV row %d estimate: %w", row, err)
+		}
+		t := task.Task{ID: len(in.Tasks), Estimate: est, Actual: est}
+		if rec[2] != "" {
+			if t.Actual, err = strconv.ParseFloat(rec[2], 64); err != nil {
+				return nil, nil, fmt.Errorf("workload: CSV row %d actual: %w", row, err)
+			}
+		}
+		if rec[3] != "" {
+			if t.Size, err = strconv.ParseFloat(rec[3], 64); err != nil {
+				return nil, nil, fmt.Errorf("workload: CSV row %d size: %w", row, err)
+			}
+		}
+		arr, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: CSV row %d arrival: %w", row, err)
+		}
+		in.Tasks = append(in.Tasks, t)
+		arrivals = append(arrivals, arr)
+	}
+	if err := in.Validate(false); err != nil {
+		return nil, nil, err
+	}
+	if err := CheckArrivals(arrivals, len(in.Tasks)); err != nil {
+		return nil, nil, err
+	}
+	return in, arrivals, nil
+}
