@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint check cover bench benchreport bench-update bench-smoke figs fuzz stress chaos clean
+.PHONY: all build test race lint check cover bench benchreport bench-update bench-smoke figs fuzz stress chaos loadtest clean
 
 all: build test
 
@@ -35,7 +35,7 @@ check:
 	$(GO) build ./...
 	$(GO) run ./cmd/uncertlint ./...
 	$(GO) test -race -shuffle=on ./...
-	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 ./internal/cluster/
+	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 ./internal/cluster/ ./internal/front/
 	$(GO) test -coverprofile=cluster.cov ./internal/cluster/
 	@pct=$$($(GO) tool cover -func=cluster.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/cluster coverage: $$pct%"; \
@@ -44,6 +44,11 @@ check:
 	$(GO) test -coverprofile=lint.cov ./internal/lint/
 	@pct=$$($(GO) tool cover -func=lint.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
 	echo "internal/lint coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
+	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
+	$(GO) test -coverprofile=front.cov ./internal/front/
+	@pct=$$($(GO) tool cover -func=front.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/front coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
 	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
 
@@ -83,17 +88,26 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime=30s ./internal/serve/
 	$(GO) test -fuzz=FuzzExecute -fuzztime=30s ./internal/algo/
 	$(GO) test -fuzz=FuzzDecodeBatch -fuzztime=30s ./internal/cluster/
+	$(GO) test -fuzz=FuzzRing -fuzztime=30s ./internal/front/
+	$(GO) test -fuzz=FuzzDecodeFrontBatch -fuzztime=30s ./internal/front/
 
 # The serving layer's concurrency tests under the race detector:
 # loopback traffic storm, saturation, graceful shutdown.
 stress:
 	$(GO) test -race -run Stress -count=1 -v ./internal/serve/
 
-# The cluster dispatch layer's fault-injection tests under the race
-# detector: backends killed and restarted mid-batch.
+# The fault-injection tests under the race detector: clusterd backends
+# and whole frontd shards killed and restarted mid-batch/mid-stream.
 chaos:
-	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 -v ./internal/cluster/
+	$(GO) test -race -run 'TestChaos|TestMetamorphic' -count=2 -v ./internal/cluster/ ./internal/front/
+
+# Sustained-load smoke: boot the full in-process tier (frontd over two
+# clusterd shards over two schedds) and drive it with cmd/loadgen in
+# both loop disciplines. Fails on any non-shed error.
+loadtest:
+	$(GO) run ./cmd/loadgen -selftest -mode closed -requests 200 -workers 8
+	$(GO) run ./cmd/loadgen -selftest -mode open -qps 400 -duration 1s
 
 clean:
-	rm -rf out/ cluster.cov lint.cov
+	rm -rf out/ cluster.cov lint.cov front.cov
 	$(GO) clean -testcache

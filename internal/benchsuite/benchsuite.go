@@ -207,5 +207,6 @@ func Curated() []Spec {
 		openSimLoopSpec(10_000),
 		estimateWarmSpec(),
 		experimentSpec("e2"),
+		frontTierSpec(32, 6),
 	}
 }

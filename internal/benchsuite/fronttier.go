@@ -1,0 +1,91 @@
+package benchsuite
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/front"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+// loopback routes requests to in-process handlers by host name, so the
+// front-tier benchmark measures the software stack (frontd sharding →
+// clusterd dispatch → schedd solving) without kernel sockets in the
+// timed region.
+type loopback map[string]http.Handler
+
+func (l loopback) RoundTrip(req *http.Request) (*http.Response, error) {
+	h, ok := l[req.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("loopback: unknown host %q", req.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// frontTierSpec benchmarks one closed-loop loadgen run through the
+// whole serving tier: requests per iteration single-item batches,
+// content-hash sharded by frontd over two clusterd shards, each
+// dispatching to one schedd. The workload is the deterministic loadgen
+// stream, so every iteration issues identical requests.
+func frontTierSpec(requests, tasks int) Spec {
+	return Spec{
+		Name:  fmt.Sprintf("FrontTier/loadgen-closed-%d", requests),
+		Tasks: requests * tasks,
+		Run: func(b *testing.B) {
+			schedd := serve.New(serve.Config{}).Handler()
+			shards := make(loopback)
+			var shardURLs []string
+			for i := 0; i < 2; i++ {
+				c, err := cluster.New(cluster.Config{
+					Backends:       []string{"http://schedd"},
+					DisableHedging: true,
+					Transport:      loopback{"schedd": schedd},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				host := fmt.Sprintf("shard-%d", i)
+				shards[host] = c.Handler()
+				shardURLs = append(shardURLs, "http://"+host)
+			}
+			f, err := front.New(front.Config{Shards: shardURLs, Transport: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := loadgen.Config{
+				URL:       "http://front",
+				Mode:      loadgen.ModeClosed,
+				Requests:  requests,
+				Workers:   4,
+				Seed:      9,
+				Tasks:     tasks,
+				Transport: loopback{"front": f.Handler()},
+			}
+			run := func() {
+				//lint:ignore ctxflow benchmark bodies have no caller context; the run is bounded by loadgen's own per-request timeouts
+				rep, err := loadgen.Run(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.OK != requests {
+					b.Fatalf("run not clean: %+v", rep)
+				}
+			}
+			run() // untimed warm-up: pools, transports, registries
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		},
+	}
+}

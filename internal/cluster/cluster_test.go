@@ -97,6 +97,10 @@ func (s *statusCapture) Write(p []byte) (int, error) {
 	return s.ResponseWriter.Write(p)
 }
 
+// Unwrap lets http.NewResponseController reach the real writer's
+// extension methods through the capture.
+func (s *statusCapture) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
 // newTestBackends boots n loopback schedd instances behind fault
 // injectors and returns them with their URLs.
 func newTestBackends(t *testing.T, n int, scfg serve.Config) ([]*testBackend, []string) {
@@ -640,8 +644,8 @@ func TestParseRetryAfter(t *testing.T) {
 		" 2 ": 2 * time.Second,
 	}
 	for in, want := range cases {
-		if got := parseRetryAfter(in); got != want {
-			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		if got := serve.ParseRetryAfter(in); got != want {
+			t.Errorf("ParseRetryAfter(%q) = %v, want %v", in, got, want)
 		}
 	}
 }

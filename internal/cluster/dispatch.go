@@ -232,7 +232,7 @@ func (c *Cluster) send(ctx context.Context, b *backend, idx int, body []byte, ch
 		ch <- outcome{kind: oOK, backendID: b.id, body: data}
 	case resp.StatusCode == http.StatusTooManyRequests:
 		ch <- outcome{kind: oThrottled, backendID: b.id,
-			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
+			retryAfter: serve.ParseRetryAfter(resp.Header.Get("Retry-After"))}
 	case resp.StatusCode >= 500:
 		ch <- outcome{kind: oBackendErr, backendID: b.id}
 	default:
@@ -337,16 +337,6 @@ func (w *latencyWindow) quantile(q float64) time.Duration {
 	}
 	sort.Float64s(sorted)
 	return time.Duration(stats.Quantile(sorted, q) * float64(time.Second))
-}
-
-// parseRetryAfter reads a delay-seconds Retry-After value; anything
-// unparsable yields 0 and the caller's default applies.
-func parseRetryAfter(v string) time.Duration {
-	secs, err := strconv.Atoi(strings.TrimSpace(v))
-	if err != nil || secs < 0 {
-		return 0
-	}
-	return time.Duration(secs) * time.Second
 }
 
 // sleepCtx sleeps d or until ctx is done; it reports whether the full

@@ -99,6 +99,13 @@ func (c *Cluster) handleStream(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.StreamTimeout)
 	defer cancel()
 
+	// The stream reads the request body while writing response lines;
+	// without full-duplex mode the HTTP/1.x server closes the unread
+	// body at the first response write, truncating any stream longer
+	// than the server's read-ahead. Errors mean the transport cannot do
+	// full-duplex; the short-stream behavior is unchanged then.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 

@@ -201,3 +201,30 @@ func TestClusterStreamItemCap(t *testing.T) {
 }
 
 func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// TestClusterStreamLongBody regression-tests stream truncation at the
+// proxy: the dispatcher reads the request body while result lines are
+// being written, so without full-duplex mode the HTTP/1.x server
+// closes the unread body at the first response write and long streams
+// silently lose their tail.
+func TestClusterStreamLongBody(t *testing.T) {
+	_, urls := newTestBackends(t, 2, serve.Config{})
+	c := mustCluster(t, Config{Backends: urls, DisableHedging: true, Workers: 2})
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+
+	const n = 120
+	req := testBatch(n)
+	resp, items := streamPost(t, ts.URL+"/v1/stream", streamLines(req))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(items) != n {
+		t.Fatalf("stream truncated: %d result lines for %d inputs", len(items), n)
+	}
+	for i, item := range items {
+		if item.Index != i || item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+	}
+}

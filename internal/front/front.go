@@ -1,0 +1,478 @@
+// Package front is the production front door over a fleet of clusterd
+// shards: the third tier of the serving stack (frontd → clusterd →
+// schedd). Where clusterd treats its schedd backends as the paper's
+// machine set M and places each item on a replica set, the front tier
+// treats whole clusterd instances as independent replica groups — the
+// `group:k` topology lifted one level — and consistent-hash-shards
+// work items across them.
+//
+// Three mechanisms make the tier hold up under sustained load:
+//
+//   - a stable hash ring with virtual nodes (see Ring) assigns every
+//     item a home shard deterministically from the shard list alone,
+//     so identical frontd replicas agree with no coordination;
+//   - admission control sheds before it queues: a global admission
+//     cap bounds the items in flight across the tier, and a per-shard
+//     in-flight cap bounds each shard's share; work beyond either cap
+//     is rejected immediately with 429 + Retry-After (batch) or a
+//     per-item shed error (stream), never buffered unboundedly;
+//   - fail-stop shard detection re-routes work from a fully-dead
+//     shard to its ring successors, so killing a shard degrades
+//     latency but loses no items; background /healthz probes readmit
+//     a restarted shard.
+//
+// Observability: front.shed counts every rejected item, front.rerouted
+// every item moved off its home shard, front.shard_inflight (and the
+// per-shard front.shard.<id>.inflight gauges) the tier's current
+// occupancy — the admission property tests pin these to zero after
+// drain.
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+// Front-tier metrics. Counters are monotone; gauges mirror live
+// occupancy and drain back to zero with the traffic.
+var (
+	mItems       = obs.GetCounter("front.items_total")
+	mDispatches  = obs.GetCounter("front.dispatches_total")
+	mShed        = obs.GetCounter("front.shed")
+	mRerouted    = obs.GetCounter("front.rerouted")
+	mRetry429    = obs.GetCounter("front.retries_429")
+	mShardDeaths = obs.GetCounter("front.shard_deaths")
+	mStreamItems = obs.GetCounter("front.stream_items")
+	gInflight    = obs.GetGauge("front.inflight")
+	gShardTotal  = obs.GetGauge("front.shard_inflight")
+	tBatch       = obs.GetTimer("front.batch")
+	tStream      = obs.GetTimer("front.stream")
+)
+
+// maxShards bounds the shard list; the ring's successor walk uses a
+// 64-bit shard mask, and a front tier wider than this wants a second
+// front layer, not a bigger ring.
+const maxShards = 64
+
+// Config parameterizes the front tier. The zero value of every field
+// except Shards selects the documented default.
+type Config struct {
+	// Shards lists the clusterd base URLs (e.g. "http://10.0.1.7:9090")
+	// forming the tier. At least one and at most 64 are required; the
+	// ring is deterministic given this list.
+	Shards []string
+	// VNodes is the virtual-node count per shard on the hash ring.
+	// Higher is smoother, at O(shards·vnodes·log) ring-build cost.
+	// Default: 64.
+	VNodes int
+	// Workers bounds the per-request fan-out (batch) and the in-flight
+	// window (stream). Default: 2·GOMAXPROCS.
+	Workers int
+	// AdmitMax is the global admission cap: the maximum work items in
+	// flight across the whole tier. Items beyond it are shed with 429 +
+	// Retry-After instead of queueing. Default: 1024.
+	AdmitMax int
+	// ShardInflight caps one shard's in-flight items. An item whose
+	// first live shard is at its cap is shed (capacity is per-shard;
+	// only death re-routes). 0 disables the per-shard cap. Default: 256.
+	ShardInflight int
+	// DisableShedding turns both admission caps off; every valid item
+	// is dispatched. The metamorphic transparency tests rely on this
+	// mode adding no observable behavior over a single shard.
+	DisableShedding bool
+	// RetryAfterHint is the Retry-After delay advertised on shed
+	// responses. Default: 1s.
+	RetryAfterHint time.Duration
+	// MaxBatch caps the items of one /v1/batch request. Default: 256.
+	MaxBatch int
+	// MaxStreamItems caps the items of one /v1/stream request.
+	// Default: 10000.
+	MaxStreamItems int
+	// StreamTimeout is the end-to-end deadline of one /v1/stream
+	// request. Default: 5m.
+	StreamTimeout time.Duration
+	// MaxTasks and MaxMachines cap submitted instances, mirroring the
+	// clusterd/schedd limits so the front rejects what the tiers below
+	// would. Defaults: 100000 and 10000.
+	MaxTasks    int
+	MaxMachines int
+	// MaxBodyBytes caps the request body size. Default: 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout is the end-to-end deadline of one batch. Default: 60s.
+	RequestTimeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks a shard
+	// dead. Default: 3.
+	FailThreshold int
+	// FailBaseBackoff is the first dead window; it doubles on every
+	// failed readmission trial up to FailMaxBackoff.
+	// Defaults: 100ms and 5s.
+	FailBaseBackoff time.Duration
+	FailMaxBackoff  time.Duration
+	// ProbeInterval spaces the background shard /healthz probes that
+	// readmit restarted shards. Default: 500ms.
+	ProbeInterval time.Duration
+	// RetryAfterCap bounds how long a shard's 429 Retry-After is
+	// honored before retrying. Default: 2s.
+	RetryAfterCap time.Duration
+	// Transport overrides the HTTP transport (tests inject failure
+	// modes here). Default: http.DefaultTransport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.AdmitMax <= 0 {
+		c.AdmitMax = 1024
+	}
+	if c.ShardInflight < 0 {
+		c.ShardInflight = 0
+	}
+	if c.ShardInflight == 0 && !c.DisableShedding {
+		c.ShardInflight = 256
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxStreamItems <= 0 {
+		c.MaxStreamItems = 10000
+	}
+	if c.StreamTimeout <= 0 {
+		c.StreamTimeout = 5 * time.Minute
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 100000
+	}
+	if c.MaxMachines <= 0 {
+		c.MaxMachines = 10000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.FailBaseBackoff <= 0 {
+		c.FailBaseBackoff = 100 * time.Millisecond
+	}
+	if c.FailMaxBackoff <= 0 {
+		c.FailMaxBackoff = 5 * time.Second
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.RetryAfterCap <= 0 {
+		c.RetryAfterCap = 2 * time.Second
+	}
+	return c
+}
+
+// Front is the sharded front tier. Create one with New, optionally
+// call Start for background shard probing, and mount Handler (or call
+// RunBatch directly).
+type Front struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+
+	// admitted is the global admission level; admit/release move it
+	// under AdmitMax all-or-nothing, so a batch is admitted whole or
+	// shed whole.
+	admitted capLevel
+
+	probeMu   sync.Mutex
+	probeStop context.CancelFunc
+	probeWG   sync.WaitGroup
+}
+
+// New validates the configuration (shard list and ring shape) and
+// returns a ready front tier. Shard probing starts only with Start.
+func New(cfg Config) (*Front, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("front: no shards configured")
+	}
+	if len(cfg.Shards) > maxShards {
+		return nil, errors.New("front: more than 64 shards; add a second front tier instead")
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Transport: cfg.Transport}
+	f := &Front{cfg: cfg, ring: ring}
+	for i, url := range cfg.Shards {
+		f.shards = append(f.shards, newShard(i, url, client, cfg))
+	}
+	return f, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (f *Front) Config() Config { return f.cfg }
+
+// Ring returns the front's hash ring (read-only; the ring is immutable
+// once built).
+func (f *Front) Ring() *Ring { return f.ring }
+
+// Start launches one background health-probe loop per shard, so a
+// restarted shard is readmitted to the ring rotation without waiting
+// for a live dispatch to discover it. Probes stop when ctx is
+// cancelled or Close is called, whichever comes first.
+func (f *Front) Start(ctx context.Context) {
+	f.probeMu.Lock()
+	defer f.probeMu.Unlock()
+	if f.probeStop != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	f.probeStop = cancel
+	for _, s := range f.shards {
+		s := s
+		f.probeWG.Add(1)
+		go func() {
+			defer f.probeWG.Done()
+			f.probeLoop(ctx, s)
+		}()
+	}
+}
+
+// Close stops the shard probes started by Start.
+func (f *Front) Close() {
+	f.probeMu.Lock()
+	stop := f.probeStop
+	f.probeStop = nil
+	f.probeMu.Unlock()
+	if stop != nil {
+		stop()
+		f.probeWG.Wait()
+	}
+}
+
+// probeLoop polls one shard's /healthz until ctx is done.
+func (f *Front) probeLoop(ctx context.Context, s *shard) {
+	t := time.NewTicker(f.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		pctx, cancel := context.WithTimeout(ctx, f.cfg.ProbeInterval)
+		err := s.probe(pctx)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			s.recordFailure(time.Now())
+		} else {
+			s.recordSuccess()
+		}
+	}
+}
+
+// Handler returns the front tier's HTTP surface:
+//
+//	POST /v1/batch   shard a batch across the clusterd fleet
+//	POST /v1/stream  NDJSON: one schedule request per line in, one
+//	                 result line out per item, in input order
+//	GET  /healthz    per-shard state and in-flight view
+//	GET  /metrics    internal/obs snapshot
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.Handle("GET /metrics", obs.Handler())
+	mux.HandleFunc("POST /v1/batch", f.handleBatch)
+	mux.HandleFunc("POST /v1/stream", f.handleStream)
+	return mux
+}
+
+func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer tBatch.Start()()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	}
+	req, err := f.DecodeBatch(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	n := len(req.Requests)
+	if !f.cfg.DisableShedding && !f.admit(n) {
+		// Shed before queue: the whole batch is rejected now, with a
+		// retry hint, rather than buffered behind the admission cap.
+		mShed.Add(int64(n))
+		w.Header().Set("Retry-After", f.retryAfterValue())
+		writeJSON(w, http.StatusTooManyRequests,
+			serve.ErrorResponse{Error: "front saturated: admission cap reached"})
+		return
+	}
+	if !f.cfg.DisableShedding {
+		defer f.release(n)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := f.runAdmitted(ctx, req)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, serve.ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RunBatch dispatches a validated batch across the shard fleet and
+// returns the results in input order. It is the library entry point
+// (the HTTP handler adds admission control on top): no admission cap
+// applies here, matching a handler call with shedding disabled.
+func (f *Front) RunBatch(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	return f.runAdmitted(ctx, req)
+}
+
+// runAdmitted fans an already-admitted batch out over the shard walk.
+func (f *Front) runAdmitted(ctx context.Context, req *BatchRequest) (*BatchResponse, error) {
+	type slot struct {
+		done bool
+		item Item
+	}
+	outs, ctxErr := par.MapCtx(ctx, len(req.Requests), f.cfg.Workers, func(i int) slot {
+		return slot{done: true, item: f.dispatchItem(ctx, i, &req.Requests[i])}
+	})
+	resp := &BatchResponse{Results: make([]Item, len(outs))}
+	for i, s := range outs {
+		if !s.done {
+			// Never dispatched: the deadline beat the fan-out.
+			if ctxErr == nil {
+				ctxErr = context.DeadlineExceeded
+			}
+			resp.Results[i] = Item{Index: i, Error: "cancelled: " + ctxErr.Error()}
+			continue
+		}
+		resp.Results[i] = s.item
+	}
+	return resp, nil
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	resp := HealthResponse{Status: "ok", Admitted: f.admitted.load(), AdmitMax: f.cfg.AdmitMax}
+	live := 0
+	for _, s := range f.shards {
+		st := s.status(now)
+		if st.State != "dead" {
+			live++
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	if live == 0 {
+		// Every shard dead: the tier cannot place anything right now.
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// retryAfterValue renders the configured shed hint as whole seconds
+// (minimum 1, the smallest honest Retry-After).
+func (f *Front) retryAfterValue() string {
+	secs := int(f.cfg.RetryAfterHint / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// admit reserves n admission slots if the cap allows all of them,
+// without blocking; release returns them. The front.inflight gauge
+// mirrors the level.
+func (f *Front) admit(n int) bool {
+	if !f.admitted.tryAdd(int64(n), int64(f.cfg.AdmitMax)) {
+		return false
+	}
+	gInflight.Add(int64(n))
+	return true
+}
+
+func (f *Front) release(n int) {
+	f.admitted.sub(int64(n))
+	gInflight.Add(int64(-n))
+}
+
+// capLevel is a bounded counter: tryAdd succeeds only when the
+// whole increment fits under the cap, so admission is all-or-nothing
+// per batch and never overshoots under concurrency.
+type capLevel struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *capLevel) tryAdd(n, cap int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.v+n > cap {
+		return false
+	}
+	a.v += n
+	return true
+}
+
+func (a *capLevel) sub(n int64) {
+	a.mu.Lock()
+	a.v -= n
+	a.mu.Unlock()
+}
+
+func (a *capLevel) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// jsonBufPool recycles response-encoding buffers, mirroring the
+// serve/cluster writer paths. Oversized buffers are dropped instead of
+// pooled.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const jsonBufMax = 1 << 20
+
+// writeJSON mirrors serve's writer byte-for-byte (json.Encoder with a
+// trailing newline), which the metamorphic byte-identity tests depend
+// on.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= jsonBufMax {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	_ = json.NewEncoder(buf).Encode(v)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}

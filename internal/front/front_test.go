@@ -1,0 +1,470 @@
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// testShard wraps a full clusterd-over-schedd stack with fault
+// injection: down simulates a whole-shard fail-stop crash (connections
+// hijacked and closed before any work happens — the shard process is
+// gone), delay simulates work, and served counts 200-completed
+// /v1/batch sub-requests per front item so tests can assert
+// exactly-once dispatch at the tier boundary.
+type testShard struct {
+	ts     *httptest.Server
+	schedd *httptest.Server
+	c      *cluster.Cluster
+	inner  http.Handler
+	down   atomic.Bool
+	delay  atomic.Int64 // nanoseconds of simulated work per request
+
+	mu     sync.Mutex
+	served map[string]int // ItemHeader value -> 200 responses
+}
+
+func (s *testShard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.down.Load() {
+		hijackClose(w)
+		return
+	}
+	if d := s.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	// A crash landing mid-work loses the in-flight request, like a
+	// whole-machine failure loses its running tasks.
+	if s.down.Load() {
+		hijackClose(w)
+		return
+	}
+	sw := &statusCapture{ResponseWriter: w}
+	s.inner.ServeHTTP(sw, r)
+	if sw.code == http.StatusOK && r.URL.Path == "/v1/batch" {
+		if item := r.Header.Get(ItemHeader); item != "" {
+			s.mu.Lock()
+			s.served[item]++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *testShard) executions() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.served))
+	for k, v := range s.served {
+		out[k] = v
+	}
+	return out
+}
+
+func hijackClose(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("test shard: ResponseWriter not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	conn.Close()
+}
+
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusCapture) Write(p []byte) (int, error) {
+	if s.code == 0 {
+		s.code = http.StatusOK
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+// Unwrap lets http.NewResponseController reach the real writer's
+// extension methods through the capture.
+func (s *statusCapture) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+// newTestShards boots n loopback clusterd shards — each a real cluster
+// dispatcher over its own real schedd — behind fault injectors.
+func newTestShards(t *testing.T, n int) ([]*testShard, []string) {
+	t.Helper()
+	var shards []*testShard
+	var urls []string
+	for i := 0; i < n; i++ {
+		schedd := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		t.Cleanup(schedd.Close)
+		c, err := cluster.New(cluster.Config{
+			Backends:       []string{schedd.URL},
+			DisableHedging: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		s := &testShard{schedd: schedd, c: c, inner: c.Handler(), served: map[string]int{}}
+		s.ts = httptest.NewServer(s)
+		t.Cleanup(s.ts.Close)
+		shards = append(shards, s)
+		urls = append(urls, s.ts.URL)
+	}
+	return shards, urls
+}
+
+// frontBatch builds a deterministic batch of k small valid items, each
+// with a unique leading estimate so items are distinct ring keys.
+func frontBatch(k int) *BatchRequest {
+	req := &BatchRequest{}
+	algos := []string{"lpt-norestriction", "ls-norestriction", "oracle-lpt", "ls-group:2"}
+	for i := 0; i < k; i++ {
+		body := fmt.Sprintf(
+			`{"algorithm":%q,"instance":{"m":4,"alpha":1.5,"estimates":[%d,3,9,1,7,5,2,8]}}`,
+			algos[i%len(algos)], i+1)
+		var r serve.ScheduleRequest
+		if err := serve.DecodeStrict(strings.NewReader(body), &r); err != nil {
+			panic(err)
+		}
+		req.Requests = append(req.Requests, r)
+	}
+	return req
+}
+
+func mustFront(t *testing.T, cfg Config) *Front {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Shards: []string{"http://a"}}.withDefaults()
+	if cfg.VNodes != 64 || cfg.AdmitMax != 1024 || cfg.ShardInflight != 256 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.MaxBatch != 256 || cfg.FailThreshold != 3 || cfg.RetryAfterHint != time.Second {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	// Transparency mode turns the per-shard cap off with the rest.
+	cfg = Config{Shards: []string{"http://a"}, DisableShedding: true}.withDefaults()
+	if cfg.ShardInflight != 0 {
+		t.Fatalf("DisableShedding left ShardInflight = %d", cfg.ShardInflight)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted empty shard list")
+	}
+	if _, err := New(Config{Shards: []string{"http://a", "http://a"}}); err == nil {
+		t.Fatal("accepted duplicate shards")
+	}
+	many := make([]string, maxShards+1)
+	for i := range many {
+		many[i] = fmt.Sprintf("http://s%d", i)
+	}
+	if _, err := New(Config{Shards: many}); err == nil {
+		t.Fatal("accepted oversized shard list")
+	}
+	f := mustFront(t, Config{Shards: []string{"http://a", "http://b"}})
+	if f.Ring().NumShards() != 2 {
+		t.Fatalf("ring shards = %d", f.Ring().NumShards())
+	}
+}
+
+func TestDecodeBatchRejections(t *testing.T) {
+	f := mustFront(t, Config{Shards: []string{"http://a"}, MaxBatch: 2})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty object", `{}`},
+		{"empty batch", `{"requests":[]}`},
+		{"unknown field", `{"requests":[{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}}],"extra":1}`},
+		{"trailing garbage", `{"requests":[{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}}]} {}`},
+		{"missing algorithm", `{"requests":[{"instance":{"m":1,"alpha":1,"estimates":[1]}}]}`},
+		{"missing instance", `{"requests":[{"algorithm":"oracle-lpt"}]}`},
+		{"bad alpha", `{"requests":[{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":0.5,"estimates":[1]}}]}`},
+		{"over MaxBatch", `{"requests":[
+			{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}},
+			{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}},
+			{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := f.DecodeBatch(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := f.DecodeBatch(strings.NewReader(
+		`{"requests":[{"algorithm":"oracle-lpt","instance":{"m":1,"alpha":1,"estimates":[1]}}]}`)); err != nil {
+		t.Fatalf("rejected valid batch: %v", err)
+	}
+}
+
+func TestBatchThroughFront(t *testing.T) {
+	shards, urls := newTestShards(t, 2)
+	f := mustFront(t, Config{Shards: urls})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+
+	const n = 8
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(frontBatch(n)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != n {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	for i, item := range br.Results {
+		if item.Index != i || item.Error != "" || item.Response == nil {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+	}
+	// With distinct keys and two shards, the ring should route to both.
+	used := 0
+	for _, s := range shards {
+		if len(s.executions()) > 0 {
+			used++
+		}
+	}
+	if used != 2 {
+		t.Fatalf("ring used %d of 2 shards for %d distinct items", used, n)
+	}
+}
+
+func TestBadRequestStatusCodes(t *testing.T) {
+	_, urls := newTestShards(t, 1)
+	f := mustFront(t, Config{Shards: urls, MaxBodyBytes: 256})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(`{"requests":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", resp.StatusCode)
+	}
+
+	big := `{"requests":[` + strings.Repeat(" ", 300) + `]}`
+	resp, err = http.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzDegradedWhenAllShardsDead(t *testing.T) {
+	shards, urls := newTestShards(t, 2)
+	f := mustFront(t, Config{Shards: urls, FailThreshold: 1})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+
+	getHealth := func() HealthResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	if h := getHealth(); h.Status != "ok" || len(h.Shards) != 2 {
+		t.Fatalf("healthy tier: %+v", h)
+	}
+	for i := range shards {
+		f.shards[i].recordFailure(time.Now())
+	}
+	if h := getHealth(); h.Status != "degraded" {
+		t.Fatalf("all-dead tier still %q", h.Status)
+	}
+}
+
+// TestProbeReadmission kills a shard, lets the prober mark it dead,
+// restarts it, and requires the prober to readmit it — the satellite
+// invariant "restart ⇒ the ring readmits the shard".
+func TestProbeReadmission(t *testing.T) {
+	shards, urls := newTestShards(t, 2)
+	f := mustFront(t, Config{
+		Shards:          urls,
+		FailThreshold:   1,
+		FailBaseBackoff: 5 * time.Millisecond,
+		FailMaxBackoff:  20 * time.Millisecond,
+		ProbeInterval:   5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	f.Start(ctx)
+
+	shards[0].down.Store(true)
+	waitState := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if f.shards[0].state(time.Now()) == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("shard 0 never reached state %d", want)
+	}
+	waitState(shardDead)
+	shards[0].down.Store(false)
+	waitState(shardLive)
+}
+
+func TestRetryAfterValue(t *testing.T) {
+	f := mustFront(t, Config{Shards: []string{"http://a"}, RetryAfterHint: 3 * time.Second})
+	if got := f.retryAfterValue(); got != "3" {
+		t.Fatalf("retryAfterValue = %q", got)
+	}
+	f2 := mustFront(t, Config{Shards: []string{"http://a"}, RetryAfterHint: 100 * time.Millisecond})
+	if got := f2.retryAfterValue(); got != "1" {
+		t.Fatalf("sub-second hint rendered %q, want the 1s floor", got)
+	}
+}
+
+func TestCapLevel(t *testing.T) {
+	var l capLevel
+	if !l.tryAdd(3, 4) {
+		t.Fatal("tryAdd under cap failed")
+	}
+	if l.tryAdd(2, 4) {
+		t.Fatal("tryAdd overshot the cap")
+	}
+	if !l.tryAdd(1, 4) {
+		t.Fatal("tryAdd at exactly cap failed")
+	}
+	l.sub(4)
+	if got := l.load(); got != 0 {
+		t.Fatalf("level = %d after drain", got)
+	}
+}
+
+// TestStreamOrderAndErrors drives /v1/stream with a mix of valid and
+// invalid lines and requires one result line per input line, in input
+// order, errors resolved in place.
+func TestStreamOrderAndErrors(t *testing.T) {
+	_, urls := newTestShards(t, 2)
+	f := mustFront(t, Config{Shards: urls})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+
+	lines := []string{
+		`{"algorithm":"oracle-lpt","instance":{"m":2,"alpha":1,"estimates":[3,1,2]}}`,
+		`{"algorithm":"","instance":{"m":2,"alpha":1,"estimates":[3,1,2]}}`, // invalid: no algorithm
+		`not json`,
+		`{"algorithm":"lpt-norestriction","instance":{"m":2,"alpha":1.5,"estimates":[5,4]}}`,
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson",
+		strings.NewReader(strings.Join(lines, "\n")+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var items []Item
+	for dec.More() {
+		var it Item
+		if err := dec.Decode(&it); err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, it)
+	}
+	if len(items) != len(lines) {
+		t.Fatalf("%d result lines for %d inputs", len(items), len(lines))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("line %d has index %d: order broken", i, it.Index)
+		}
+	}
+	if items[0].Error != "" || items[0].Response == nil {
+		t.Fatalf("valid line 0 failed: %+v", items[0])
+	}
+	if items[1].Error == "" || items[2].Error == "" {
+		t.Fatalf("invalid lines passed: %+v / %+v", items[1], items[2])
+	}
+	if items[3].Error != "" || items[3].Response == nil {
+		t.Fatalf("valid line 3 failed: %+v", items[3])
+	}
+}
+
+// TestStreamItemCap cuts the stream off with an in-band error line
+// past MaxStreamItems.
+func TestStreamItemCap(t *testing.T) {
+	_, urls := newTestShards(t, 1)
+	f := mustFront(t, Config{Shards: urls, MaxStreamItems: 2})
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(ts.Close)
+
+	line := `{"algorithm":"oracle-lpt","instance":{"m":2,"alpha":1,"estimates":[3,1,2]}}`
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/x-ndjson",
+		strings.NewReader(strings.Repeat(line+"\n", 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	var items []Item
+	for dec.More() {
+		var it Item
+		if err := dec.Decode(&it); err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, it)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d lines, want 2 results + 1 cap error", len(items))
+	}
+	last := items[len(items)-1]
+	if !strings.Contains(last.Error, "exceeds 2 items") {
+		t.Fatalf("cap line: %+v", last)
+	}
+}

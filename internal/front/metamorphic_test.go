@@ -1,0 +1,188 @@
+package front
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// Metamorphic relations for the front tier:
+//
+//  1. Transparency: with a single shard and shedding disabled, frontd's
+//     /v1/batch and /v1/stream responses are byte-identical to the
+//     shard's own for the same body — the tier adds no observable
+//     behavior when it has nothing to decide.
+//  2. Shard-count invariance: with identical deterministic backends,
+//     the response bytes are invariant to how many shards the work is
+//     spread over — sharding is pure routing, never computation.
+
+// randomFrontBatchBody builds a random but valid /v1/batch body
+// acceptable to every tier (no placement overrides). Actuals stay
+// inside the uncertainty band [e/α, e·α].
+func randomFrontBatchBody(t *testing.T, rng *rand.Rand, k int) []byte {
+	t.Helper()
+	algos := []string{
+		"lpt-norestriction", "ls-norestriction", "oracle-lpt",
+		"lpt-nochoice", "ls-group:2",
+	}
+	var items []string
+	for i := 0; i < k; i++ {
+		n := 3 + rng.Intn(10)
+		m := 2 + rng.Intn(3)*2 // even, so ls-group:2 is valid
+		alpha := 1.0 + rng.Float64()
+		ests := make([]string, n)
+		acts := make([]string, n)
+		for j := 0; j < n; j++ {
+			e := 1 + rng.Float64()*9
+			f := 1/alpha + rng.Float64()*(alpha-1/alpha)
+			ests[j] = fmt.Sprintf("%.4f", e)
+			acts[j] = fmt.Sprintf("%.4f", e*f)
+		}
+		items = append(items, fmt.Sprintf(
+			`{"algorithm":%q,"instance":{"m":%d,"alpha":%.4f,"estimates":[%s],"actuals":[%s]}}`,
+			algos[rng.Intn(len(algos))], m, alpha,
+			strings.Join(ests, ","), strings.Join(acts, ",")))
+	}
+	return []byte(`{"requests":[` + strings.Join(items, ",") + `]}`)
+}
+
+func postRaw(t *testing.T, url, path, contentType string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// newTransparentPair boots one clusterd shard (over one schedd) and a
+// single-shard, shedding-disabled front over it, returning both base
+// URLs.
+func newTransparentPair(t *testing.T) (shardURL, frontURL string) {
+	t.Helper()
+	schedd := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	t.Cleanup(schedd.Close)
+	c, err := cluster.New(cluster.Config{Backends: []string{schedd.URL}, DisableHedging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	shard := httptest.NewServer(c.Handler())
+	t.Cleanup(shard.Close)
+
+	f := mustFront(t, Config{Shards: []string{shard.URL}, DisableShedding: true})
+	front := httptest.NewServer(f.Handler())
+	t.Cleanup(front.Close)
+	return shard.URL, front.URL
+}
+
+// TestMetamorphicFrontTransparencyBatch: single shard, shedding off ⇒
+// frontd batch response bytes == direct clusterd response bytes.
+func TestMetamorphicFrontTransparencyBatch(t *testing.T) {
+	shardURL, frontURL := newTransparentPair(t)
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		body := randomFrontBatchBody(t, rng, 1+rng.Intn(6))
+		sCode, sHdr, sBytes := postRaw(t, shardURL, "/v1/batch", "application/json", body)
+		fCode, fHdr, fBytes := postRaw(t, frontURL, "/v1/batch", "application/json", body)
+		if sCode != fCode {
+			t.Fatalf("trial %d: status %d (clusterd) vs %d (frontd)", trial, sCode, fCode)
+		}
+		if got, want := fHdr.Get("Content-Type"), sHdr.Get("Content-Type"); got != want {
+			t.Fatalf("trial %d: content-type %q vs %q", trial, got, want)
+		}
+		if !bytes.Equal(sBytes, fBytes) {
+			t.Fatalf("trial %d: front response differs from direct clusterd:\ncluster: %s\n  front: %s",
+				trial, sBytes, fBytes)
+		}
+	}
+
+	// Items with deterministic errors must also pass through
+	// transparently (the error envelope originates at schedd and is
+	// carried verbatim by both tiers).
+	bad := []byte(`{"requests":[
+	  {"algorithm":"no-such-algo","instance":{"m":2,"alpha":1,"estimates":[1,2]}},
+	  {"algorithm":"ls-group:3","instance":{"m":4,"alpha":1,"estimates":[1,2,3]}},
+	  {"algorithm":"oracle-lpt","instance":{"m":2,"alpha":1,"estimates":[1,2,3]}}
+	]}`)
+	sCode, _, sBytes := postRaw(t, shardURL, "/v1/batch", "application/json", bad)
+	fCode, _, fBytes := postRaw(t, frontURL, "/v1/batch", "application/json", bad)
+	if sCode != fCode || !bytes.Equal(sBytes, fBytes) {
+		t.Fatalf("error batch differs: %d %s vs %d %s", sCode, sBytes, fCode, fBytes)
+	}
+}
+
+// TestMetamorphicFrontTransparencyStream: the same NDJSON stream
+// through frontd and through the shard directly, byte-identical line
+// for line.
+func TestMetamorphicFrontTransparencyStream(t *testing.T) {
+	shardURL, frontURL := newTransparentPair(t)
+
+	rng := rand.New(rand.NewSource(13))
+	var sb strings.Builder
+	for i := 0; i < 12; i++ {
+		body := randomFrontBatchBody(t, rng, 1)
+		// Unwrap the single item from the batch envelope.
+		line := strings.TrimSuffix(strings.TrimPrefix(string(body), `{"requests":[`), `]}`)
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	// Invalid lines must resolve identically too.
+	sb.WriteString("not json\n")
+	sb.WriteString(`{"algorithm":"oracle-lpt"}` + "\n")
+
+	in := []byte(sb.String())
+	sCode, sHdr, sBytes := postRaw(t, shardURL, "/v1/stream", "application/x-ndjson", in)
+	fCode, fHdr, fBytes := postRaw(t, frontURL, "/v1/stream", "application/x-ndjson", in)
+	if sCode != fCode {
+		t.Fatalf("status %d (clusterd) vs %d (frontd)", sCode, fCode)
+	}
+	if got, want := fHdr.Get("Content-Type"), sHdr.Get("Content-Type"); got != want {
+		t.Fatalf("content-type %q vs %q", got, want)
+	}
+	if !bytes.Equal(sBytes, fBytes) {
+		t.Fatalf("stream differs:\ncluster: %s\n  front: %s", sBytes, fBytes)
+	}
+}
+
+// TestMetamorphicShardCountInvariance: the same body over 1, 2, and 3
+// shards with identical deterministic backends produces identical
+// response bytes — sharding decides where work runs, never what it
+// computes.
+func TestMetamorphicShardCountInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	body := randomFrontBatchBody(t, rng, 12)
+
+	run := func(nShards int) []byte {
+		_, urls := newTestShards(t, nShards)
+		f := mustFront(t, Config{Shards: urls, DisableShedding: true})
+		ts := httptest.NewServer(f.Handler())
+		t.Cleanup(ts.Close)
+		code, _, data := postRaw(t, ts.URL, "/v1/batch", "application/json", body)
+		if code != http.StatusOK {
+			t.Fatalf("%d shards: status %d: %s", nShards, code, data)
+		}
+		return data
+	}
+
+	want := run(1)
+	for _, n := range []int{2, 3} {
+		if got := run(n); !bytes.Equal(want, got) {
+			t.Fatalf("%d-shard response differs from single-shard:\n one: %s\nmany: %s", n, want, got)
+		}
+	}
+}

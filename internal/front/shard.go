@@ -1,0 +1,183 @@
+package front
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// Shard health states, also the values of the per-shard dead gauge.
+const (
+	shardLive    = 0
+	shardDead    = 1
+	shardProbing = 2
+)
+
+// shard is one clusterd instance behind the front tier, with the
+// bookkeeping the router needs: an in-flight count for the per-shard
+// admission cap, and fail-stop detection with exponential backoff so a
+// dead shard stops receiving dispatches until a probe (or an elapsed
+// backoff window) readmits it. The mechanics mirror
+// internal/cluster's per-backend breaker one layer down.
+type shard struct {
+	id     int
+	url    string
+	client *http.Client
+
+	threshold   int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	// inflight is the number of admitted items currently dispatched to
+	// this shard; gInflight mirrors it into /metrics.
+	inflight  atomic.Int64
+	gInflight *obs.Gauge
+	gDead     *obs.Gauge
+
+	mu          sync.Mutex
+	consecFails int
+	backoff     time.Duration
+	deadUntil   time.Time
+}
+
+func newShard(id int, url string, client *http.Client, cfg Config) *shard {
+	return &shard{
+		id:          id,
+		url:         url,
+		client:      client,
+		threshold:   cfg.FailThreshold,
+		baseBackoff: cfg.FailBaseBackoff,
+		maxBackoff:  cfg.FailMaxBackoff,
+		gInflight:   shardGauge(id, "inflight"),
+		gDead:       shardGauge(id, "dead"),
+	}
+}
+
+// shardGauge returns the per-shard gauge front.shard.<id>.<kind>. The
+// name is computed, but its cardinality is bounded by the configured
+// shard count, which is fixed for the life of the process.
+func shardGauge(id int, kind string) *obs.Gauge {
+	//lint:ignore obsnames per-shard gauge names are bounded by the configured shard count
+	return obs.GetGauge(fmt.Sprintf("front.shard.%d.%s", id, kind))
+}
+
+// state reports the shard's position at now: live below the failure
+// threshold, dead inside the backoff window, probing (dispatches
+// admitted again as trials) once the window elapses.
+func (s *shard) state(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stateLocked(now)
+}
+
+func (s *shard) stateLocked(now time.Time) int {
+	if s.consecFails < s.threshold {
+		return shardLive
+	}
+	if now.Before(s.deadUntil) {
+		return shardDead
+	}
+	return shardProbing
+}
+
+// selectable reports whether a dispatch may be routed here at now.
+func (s *shard) selectable(now time.Time) bool {
+	return s.state(now) != shardDead
+}
+
+// readmitAt returns when a dead shard admits its next trial (zero time
+// when not dead).
+func (s *shard) readmitAt(now time.Time) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stateLocked(now) != shardDead {
+		return time.Time{}
+	}
+	return s.deadUntil
+}
+
+// recordSuccess marks the shard live and resets the backoff.
+func (s *shard) recordSuccess() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.consecFails = 0
+	s.backoff = 0
+	s.deadUntil = time.Time{}
+	s.gDead.Set(shardLive)
+}
+
+// recordFailure counts one transport/5xx failure against the shard;
+// crossing the threshold marks it dead, and a failed probing trial
+// re-kills it with a doubled (capped) window.
+func (s *shard) recordFailure(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wasDead := s.stateLocked(now) == shardDead
+	s.consecFails++
+	if s.consecFails < s.threshold {
+		return
+	}
+	switch {
+	case s.backoff == 0:
+		s.backoff = s.baseBackoff
+	case !wasDead:
+		// A failure after the window elapsed: the probing trial failed,
+		// so back off harder.
+		s.backoff *= 2
+		if s.backoff > s.maxBackoff {
+			s.backoff = s.maxBackoff
+		}
+	default:
+		// A straggling in-flight failure inside the window keeps the
+		// current horizon.
+		return
+	}
+	s.deadUntil = now.Add(s.backoff)
+	s.gDead.Set(shardDead)
+	mShardDeaths.Inc()
+}
+
+// probe checks the shard's /healthz once. A 200 means the clusterd
+// process is reachable — its own breaker view decides what it can do
+// with the work.
+func (s *shard) probe(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("front: shard healthz status %d", resp.StatusCode)
+	}
+	var h cluster.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("front: shard healthz decode: %w", err)
+	}
+	return nil
+}
+
+// status renders the shard for the front's /healthz.
+func (s *shard) status(now time.Time) ShardStatus {
+	s.mu.Lock()
+	fails := s.consecFails
+	s.mu.Unlock()
+	names := [...]string{"live", "dead", "probing"}
+	return ShardStatus{
+		ID:                  s.id,
+		URL:                 s.url,
+		State:               names[s.state(now)],
+		Inflight:            s.inflight.Load(),
+		ConsecutiveFailures: fails,
+	}
+}

@@ -1,0 +1,128 @@
+// Streaming entry: the open-system face of the front tier. The reader
+// turns NDJSON lines into single-use future channels in input order;
+// each valid, admitted item is dispatched to its ring shard
+// concurrently, shed items resolve immediately, and the writer drains
+// futures in order, flushing each result line as it completes. The
+// bounded futures queue is the backpressure: with Workers items in
+// flight the reader stops consuming the request body, so a fast client
+// is throttled to the fleet's service rate by TCP flow control —
+// admission control sheds what even that window cannot hold.
+
+package front
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+func (f *Front) handleStream(w http.ResponseWriter, r *http.Request) {
+	defer tStream.Start()()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, f.cfg.MaxBodyBytes)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), f.cfg.StreamTimeout)
+	defer cancel()
+
+	// The stream reads the request body while writing response lines;
+	// without full-duplex mode the HTTP/1.x server closes the unread
+	// body at the first response write, truncating any stream longer
+	// than the server's read-ahead. Errors mean the transport cannot do
+	// full-duplex; the short-stream behavior is unchanged then.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	futures := make(chan chan Item, f.cfg.Workers)
+	go func() {
+		defer close(futures)
+		sc := bufio.NewScanner(r.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), int(f.cfg.MaxBodyBytes))
+		idx := 0
+		emit := func(fut chan Item) bool {
+			select {
+			case futures <- fut:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			fut := make(chan Item, 1)
+			if idx >= f.cfg.MaxStreamItems {
+				fut <- Item{Index: idx, Error: fmt.Sprintf("stream exceeds %d items", f.cfg.MaxStreamItems)}
+				emit(fut)
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			mStreamItems.Inc()
+			var req serve.ScheduleRequest
+			if err := serve.DecodeStrict(bytes.NewReader(line), &req); err != nil {
+				fut <- Item{Index: idx, Error: err.Error()}
+			} else if err := f.checkItem(&req); err != nil {
+				fut <- Item{Index: idx, Error: err.Error()}
+			} else if !f.cfg.DisableShedding && !f.admit(1) {
+				// Shed before queue, per item: the stream stays up and
+				// ordered, the overload is reported in-band.
+				mShed.Inc()
+				fut <- Item{Index: idx, Error: "shed: admission cap reached; retry after " +
+					f.retryAfterValue() + "s"}
+			} else {
+				i, r := idx, req
+				go func() {
+					item := f.dispatchItem(ctx, i, &r)
+					if !f.cfg.DisableShedding {
+						f.release(1)
+					}
+					fut <- item
+				}()
+			}
+			if !emit(fut) {
+				return
+			}
+			idx++
+		}
+		if err := sc.Err(); err != nil {
+			fut := make(chan Item, 1)
+			fut <- Item{Index: idx, Error: "stream read: " + err.Error()}
+			emit(fut)
+		}
+	}()
+
+	// Drain in order. Every future receives exactly one Item —
+	// dispatchItem returns promptly once ctx expires — so this loop
+	// terminates even when the deadline cuts the stream short.
+	for fut := range futures {
+		item := <-fut
+		writeNDJSON(w, flusher, item)
+	}
+}
+
+// writeNDJSON emits one result line through the pooled-buffer path and
+// flushes it, so the client observes each item as it completes.
+func writeNDJSON(w http.ResponseWriter, flusher http.Flusher, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= jsonBufMax {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	_ = json.NewEncoder(buf).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

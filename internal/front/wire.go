@@ -1,0 +1,91 @@
+package front
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+)
+
+// Item is the outcome of one work item. It is clusterd's Item type
+// verbatim: the front tier carries each shard's per-item response
+// bytes untouched, so an item served through frontd is byte-identical
+// to one served by the shard directly (the metamorphic transparency
+// tests pin this down).
+type Item = cluster.Item
+
+// BatchRequest is frontd's /v1/batch body: the same "requests" array
+// schedd and clusterd accept. The front tier owns placement — items
+// are sharded by the hash ring — so it takes no placement override;
+// replica-set policy lives one tier down, per shard.
+type BatchRequest struct {
+	Requests []serve.ScheduleRequest `json:"requests"`
+}
+
+// BatchResponse reports a whole batch, in input order, with the same
+// envelope clusterd uses.
+type BatchResponse = cluster.BatchResponse
+
+// HealthResponse is frontd's /healthz payload: the tier view.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Admitted is the current global admission level (work items in
+	// flight across the tier) against AdmitMax.
+	Admitted int64         `json:"admitted"`
+	AdmitMax int           `json:"admit_max"`
+	Shards   []ShardStatus `json:"shards"`
+}
+
+// ShardStatus is one shard's health row.
+type ShardStatus struct {
+	ID                  int    `json:"id"`
+	URL                 string `json:"url"`
+	State               string `json:"state"`
+	Inflight            int64  `json:"inflight"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+}
+
+// DecodeBatch decodes and fully validates a /v1/batch body: strict
+// JSON, non-empty bounded batch, every instance validated. Anything it
+// accepts is safe to shard and dispatch (and stable under re-encoding
+// — the fuzz target enforces that).
+func (f *Front) DecodeBatch(r io.Reader) (*BatchRequest, error) {
+	var req BatchRequest
+	if err := serve.DecodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Requests) == 0 {
+		return nil, errors.New("empty batch")
+	}
+	if len(req.Requests) > f.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch has %d items, limit %d", len(req.Requests), f.cfg.MaxBatch)
+	}
+	for i := range req.Requests {
+		if err := f.checkItem(&req.Requests[i]); err != nil {
+			return nil, fmt.Errorf("item %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// checkItem applies the front's per-item limits and the centralized
+// instance validation to one work item. Shared by the batch and
+// streaming paths so both admit exactly the same items.
+func (f *Front) checkItem(req *serve.ScheduleRequest) error {
+	if req.Algorithm == "" {
+		return errors.New("missing algorithm")
+	}
+	in := req.Instance
+	if in == nil {
+		return errors.New("missing instance")
+	}
+	if in.N() > f.cfg.MaxTasks {
+		return fmt.Errorf("instance has %d tasks, limit %d", in.N(), f.cfg.MaxTasks)
+	}
+	if in.M > f.cfg.MaxMachines {
+		return fmt.Errorf("instance has %d machines, limit %d", in.M, f.cfg.MaxMachines)
+	}
+	return in.Validate(true)
+}

@@ -7,15 +7,19 @@ import (
 
 // nondetAllowlist names the packages (by final import-path element)
 // that are allowed to observe wall-clock time and to select over
-// channels: the serving and dispatch layers, the observability layer
-// (timers are write-only and never feed back into results), and the
-// fork-join engine. Everything else in the repo — in particular algo,
+// channels: the serving and dispatch layers (including the front
+// tier), the observability layer (timers are write-only and never feed
+// back into results), the fork-join engine, and the load generator
+// (whose measurements are wall-clock by definition; its request stream
+// stays seed-deterministic via internal/rng). Everything else in the repo — in particular algo,
 // sim, opt, bounds, adversary, placement, experiments, and stats —
 // is deterministic by default: its output must be a pure function of
 // inputs and explicit seeds so paper tables regenerate byte-identically.
 var nondetAllowlist = map[string]bool{
 	"serve":   true,
 	"cluster": true,
+	"front":   true,
+	"loadgen": true,
 	"obs":     true,
 	"par":     true,
 }

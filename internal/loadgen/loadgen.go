@@ -1,0 +1,386 @@
+// Package loadgen drives sustained load against the serving tier
+// (frontd, clusterd, or schedd — anything speaking POST /v1/batch) and
+// reports throughput, latency quantiles, and shed rate in a
+// machine-readable form.
+//
+// Two loop disciplines cover the classic load-testing split:
+//
+//   - the open loop fires requests at a fixed average rate with
+//     Poisson (exponential) interarrivals, independent of how fast the
+//     system answers — the arrival process of the paper's open-system
+//     model, and the one that exposes shedding: when the tier cannot
+//     keep up, work piles into 429s instead of silently stretching the
+//     measurement;
+//   - the closed loop keeps exactly Workers requests in flight,
+//     issuing the next as soon as one completes — the discipline that
+//     measures sustainable capacity (throughput at full pipeline).
+//
+// All randomness (interarrivals, per-request instance jitter) comes
+// from internal/rng seeded by Config.Seed, so two runs against the
+// same system issue byte-identical request sequences on identical
+// schedules.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Mode names the two loop disciplines.
+const (
+	ModeOpen   = "open"
+	ModeClosed = "closed"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// Mode selects the loop discipline: ModeOpen or ModeClosed.
+	// Default: ModeClosed.
+	Mode string
+	// URL is the base URL of the target tier (required); requests go to
+	// URL + "/v1/batch".
+	URL string
+	// QPS is the open loop's average arrival rate. Default: 100.
+	QPS float64
+	// Duration bounds the open loop's arrival window. Default: 1s.
+	Duration time.Duration
+	// Workers is the closed loop's concurrency (and the open loop's
+	// in-flight cap, so a stalled target cannot spawn unbounded
+	// goroutines). Default: 8.
+	Workers int
+	// Requests is the closed loop's total request count (required in
+	// closed mode). In open mode it optionally caps arrivals; 0 means
+	// arrivals are bounded by Duration alone.
+	Requests int
+	// Seed seeds the deterministic request stream. Default: 1.
+	Seed uint64
+	// Timeout is the per-request deadline. Default: 30s.
+	Timeout time.Duration
+	// Algorithm is the algorithm each generated request asks for.
+	// Default: "lpt-norestriction".
+	Algorithm string
+	// Machines and Tasks shape the generated instances. Defaults: 4
+	// machines, 6 tasks.
+	Machines int
+	Tasks    int
+	// Transport overrides the HTTP transport (tests and the in-process
+	// bench tier inject loopback handlers here).
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.QPS <= 0 {
+		c.QPS = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = "lpt-norestriction"
+	}
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 6
+	}
+	return c
+}
+
+// Latency reports the request-latency distribution in seconds.
+type Latency struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is the machine-readable outcome of one run. Counts partition:
+// Requests = OK + Shed + Errors.
+type Report struct {
+	Mode            string  `json:"mode"`
+	Seed            uint64  `json:"seed"`
+	Requests        int     `json:"requests"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	Errors          int     `json:"errors"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// ThroughputRPS counts completed-OK requests per wall second.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ShedRate is Shed / Requests (0 with no requests).
+	ShedRate float64 `json:"shed_rate"`
+	// LatencySeconds summarizes OK-request latencies only; shed
+	// round-trips are fast by design and would flatter the quantiles.
+	LatencySeconds Latency `json:"latency_seconds"`
+	// FirstError samples one error message for debugging; empty when
+	// Errors is 0.
+	FirstError string `json:"first_error,omitempty"`
+}
+
+// outcome classifications of one request.
+const (
+	outOK = iota
+	outShed
+	outErr
+)
+
+// gen builds the deterministic request stream: request i is a function
+// of (seed, i) alone. Instances are jittered per request so the front
+// tier's content-hash sharding spreads them across the ring — a
+// constant body would pin the whole run to one shard.
+type gen struct {
+	cfg Config
+}
+
+// body renders the i-th single-item batch body.
+func (g gen) body(r *rng.Source) []byte {
+	tasks := make([]task.Task, g.cfg.Tasks)
+	for j := range tasks {
+		e := 1 + float64(r.Intn(97))
+		tasks[j] = task.Task{ID: j, Estimate: e, Actual: e}
+	}
+	req := serve.BatchRequest{Requests: []serve.ScheduleRequest{{
+		Algorithm: g.cfg.Algorithm,
+		Instance:  &task.Instance{M: g.cfg.Machines, Alpha: 1.5, Tasks: tasks},
+	}}}
+	b, err := json.Marshal(&req)
+	if err != nil {
+		panic("loadgen: marshal request: " + err.Error())
+	}
+	return b
+}
+
+// sample is one completed request.
+type sample struct {
+	kind    int
+	latency float64 // seconds, OK requests only
+	errMsg  string
+}
+
+// collector accumulates samples under a lock; contention is negligible
+// next to a network round trip.
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+func (c *collector) add(s sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// Run executes one load-generation run and reports it. The context
+// bounds the whole run: cancellation stops issuing and waits for
+// in-flight requests to resolve (each carries its own Timeout).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, errors.New("loadgen: URL is required")
+	}
+	if cfg.Mode != ModeOpen && cfg.Mode != ModeClosed {
+		return nil, fmt.Errorf("loadgen: unknown mode %q (want %q or %q)", cfg.Mode, ModeOpen, ModeClosed)
+	}
+	if cfg.Mode == ModeClosed && cfg.Requests <= 0 {
+		return nil, errors.New("loadgen: closed mode requires Requests > 0")
+	}
+	client := &http.Client{Transport: cfg.Transport, Timeout: cfg.Timeout}
+	col := &collector{}
+	start := time.Now()
+	var err error
+	if cfg.Mode == ModeOpen {
+		err = runOpen(ctx, cfg, client, col)
+	} else {
+		err = runClosed(ctx, cfg, client, col)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(cfg, col, time.Since(start)), nil
+}
+
+// runClosed keeps Workers requests in flight until Requests have been
+// issued. Each worker derives its own rng stream from (seed, worker),
+// so the issued set is deterministic regardless of completion order.
+func runClosed(ctx context.Context, cfg Config, client *http.Client, col *collector) error {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Requests; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		r := rng.New(cfg.Seed + uint64(w)*1e9)
+		go func() {
+			defer wg.Done()
+			g := gen{cfg: cfg}
+			for range next {
+				col.add(issue(ctx, client, cfg.URL, g.body(r)))
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runOpen fires requests on a Poisson schedule at rate QPS for
+// Duration (or Requests arrivals, whichever ends first). Workers caps
+// the in-flight count: an arrival finding no free slot is recorded as
+// shed by the generator itself — the open loop must not queue, or it
+// degenerates into a closed loop with extra steps.
+func runOpen(ctx context.Context, cfg Config, client *http.Client, col *collector) error {
+	r := rng.New(cfg.Seed)
+	g := gen{cfg: cfg}
+	slots := make(chan struct{}, cfg.Workers)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(cfg.Duration)
+	issued := 0
+	for cfg.Requests <= 0 || issued < cfg.Requests {
+		wait := time.Duration(r.Exp(cfg.QPS) * float64(time.Second))
+		if !sleepCtx(ctx, wait) {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		body := g.body(r)
+		issued++
+		select {
+		case slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				col.add(issue(ctx, client, cfg.URL, body))
+				<-slots
+			}()
+		default:
+			col.add(sample{kind: outShed, errMsg: "generator in-flight cap"})
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// issue posts one single-item batch and classifies the outcome:
+// HTTP 429 or an item-level "shed:" error is a shed; a 200 whose item
+// succeeded is OK; everything else is an error.
+func issue(ctx context.Context, client *http.Client, url string, body []byte) sample {
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return sample{kind: outErr, errMsg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{kind: outErr, errMsg: err.Error()}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return sample{kind: outErr, errMsg: err.Error()}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var br serve.BatchResponse
+		if err := json.Unmarshal(data, &br); err != nil || len(br.Results) != 1 {
+			return sample{kind: outErr, errMsg: "malformed batch response"}
+		}
+		if msg := br.Results[0].Error; msg != "" {
+			if strings.HasPrefix(msg, "shed:") {
+				return sample{kind: outShed, errMsg: msg}
+			}
+			return sample{kind: outErr, errMsg: msg}
+		}
+		return sample{kind: outOK, latency: time.Since(start).Seconds()}
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return sample{kind: outShed, errMsg: strings.TrimSpace(string(data))}
+	default:
+		return sample{kind: outErr, errMsg: fmt.Sprintf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))}
+	}
+}
+
+func buildReport(cfg Config, col *collector, elapsed time.Duration) *Report {
+	rep := &Report{Mode: cfg.Mode, Seed: cfg.Seed, DurationSeconds: elapsed.Seconds()}
+	var lats []float64
+	for _, s := range col.samples {
+		rep.Requests++
+		switch s.kind {
+		case outOK:
+			rep.OK++
+			lats = append(lats, s.latency)
+		case outShed:
+			rep.Shed++
+		default:
+			rep.Errors++
+			if rep.FirstError == "" {
+				rep.FirstError = s.errMsg
+			}
+		}
+	}
+	if rep.DurationSeconds > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / rep.DurationSeconds
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.LatencySeconds = Latency{
+			P50: stats.Quantile(lats, 0.50),
+			P90: stats.Quantile(lats, 0.90),
+			P99: stats.Quantile(lats, 0.99),
+			Max: lats[len(lats)-1],
+		}
+	}
+	return rep
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

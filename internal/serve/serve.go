@@ -260,6 +260,11 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return w.ResponseWriter.Write(p)
 }
 
+// Unwrap lets http.NewResponseController reach the underlying
+// ResponseWriter's extension methods (flushing, deadlines, full-duplex
+// mode) through this wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func (w *statusWriter) status() int {
 	if !w.wrote {
 		// Nothing written: ServeMux's 404/405 paths always write, so

@@ -189,6 +189,12 @@ func (s *Server) handleSimulateOpen(w http.ResponseWriter, r *http.Request) {
 // reported on that item's line and the stream continues; only a
 // transport-level read error, the item cap, or the deadline end it.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	// The stream reads the request body while writing response lines;
+	// without full-duplex mode the HTTP/1.x server closes the unread
+	// body at the first response write, truncating any stream longer
+	// than the server's read-ahead. Errors mean the transport cannot do
+	// full-duplex; the short-stream behavior is unchanged then.
+	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	sc := bufio.NewScanner(r.Body)

@@ -200,3 +200,30 @@ func TestSimulateOpenRejections(t *testing.T) {
 		})
 	}
 }
+
+// TestStreamLongBodyFullDuplex regression-tests stream truncation: the
+// handler writes result lines while the client is still sending, so
+// without full-duplex mode the HTTP/1.x server closes the unread
+// request body at the first response write and any stream longer than
+// the server's read-ahead silently loses its tail.
+func TestStreamLongBodyFullDuplex(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const n = 300
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(validSchedule)
+		sb.WriteByte('\n')
+	}
+	resp, items := postNDJSON(t, ts, "/v1/stream", sb.String())
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(items) != n {
+		t.Fatalf("stream truncated: %d result lines for %d inputs", len(items), n)
+	}
+	for i, item := range items {
+		if item.Index != i || item.Error != "" {
+			t.Fatalf("item %d: %+v", i, item)
+		}
+	}
+}

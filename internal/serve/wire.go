@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -286,6 +288,18 @@ func badRequest(w http.ResponseWriter, err error) {
 		return
 	}
 	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// ParseRetryAfter reads a delay-seconds Retry-After value; anything
+// unparsable yields 0 and the caller's default applies. Exported so
+// HTTP clients of the daemons (the cluster dispatcher, the front
+// tier, cmd/loadgen) honor throttle hints with one parser.
+func ParseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // contextWithTimeout derives the per-request deadline.
