@@ -51,6 +51,11 @@ check:
 	echo "internal/front coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
 	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
+	$(GO) test -coverprofile=sim.cov ./internal/sim/
+	@pct=$$($(GO) tool cover -func=sim.cov | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/sim coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit (p >= 80.0) ? 0 : 1 }' \
+	  || { echo "coverage $$pct% is below the 80% floor"; exit 1; }
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -62,7 +67,7 @@ bench:
 # committed baseline. BENCHTIME must match the conditions the baseline
 # was recorded under (see EXPERIMENTS.md) or the comparison is unfair.
 BENCHTIME ?= 500ms
-BASELINE  ?= BENCH_5.json
+BASELINE  ?= BENCH_8.json
 
 benchreport:
 	$(GO) run ./cmd/benchreport -baseline $(BASELINE) -benchtime $(BENCHTIME)
@@ -83,6 +88,8 @@ figs:
 	$(GO) run ./cmd/paperfigs -exp all -out out/
 
 fuzz:
+	$(GO) test -fuzz=FuzzTimeConv -fuzztime=30s ./internal/tick/
+	$(GO) test -fuzz=FuzzGroupPartition -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/workload/
 	$(GO) test -fuzz=FuzzInstanceJSON -fuzztime=30s ./internal/task/
 	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime=30s ./internal/serve/
@@ -109,5 +116,5 @@ loadtest:
 	$(GO) run ./cmd/loadgen -selftest -mode open -qps 400 -duration 1s
 
 clean:
-	rm -rf out/ cluster.cov lint.cov front.cov
+	rm -rf out/ cluster.cov lint.cov front.cov sim.cov
 	$(GO) clean -testcache

@@ -162,12 +162,22 @@ func BenchmarkScaling(b *testing.B) {
 	}
 }
 
-// BenchmarkSimLoop measures the bare simulator event loop with
-// placement and order precomputed: the zero-steady-state-allocations
-// target of the pooled runner work.
+// BenchmarkSimLoop measures the bare flat-engine simulator core with
+// placement and order precomputed: the ≥10M tasks/s,
+// zero-steady-state-allocations target.
 func BenchmarkSimLoop(b *testing.B) {
 	for _, s := range benchsuite.Curated() {
 		if rest, ok := strings.CutPrefix(s.Name, "SimLoop/"); ok {
+			b.Run(rest, s.Run)
+		}
+	}
+}
+
+// BenchmarkSimLoopEvent measures the float event-heap reference
+// engine on the same workload, keeping the pre-refactor loop pinned.
+func BenchmarkSimLoopEvent(b *testing.B) {
+	for _, s := range benchsuite.Curated() {
+		if rest, ok := strings.CutPrefix(s.Name, "SimLoopEvent/"); ok {
 			b.Run(rest, s.Run)
 		}
 	}

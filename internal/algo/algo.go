@@ -84,7 +84,20 @@ func Execute(in *task.Instance, a Algorithm) (*Result, error) {
 // are identical to the package-level Execute: every reused buffer is
 // rebuilt from the inputs before use.
 type Scratch struct {
+	// Engine selects the phase-2 simulator: sim.EngineEvent (default)
+	// is the float64 event-heap reference; sim.EngineFlat is the
+	// data-oriented fixed-point core. The engines agree on every
+	// dispatch decision; flat times are nanotick-quantized (≤ 0.5e-9 s
+	// per duration, inside Verify's tolerance).
+	Engine sim.Engine
+	// SimWorkers is the shard worker count under sim.EngineFlat:
+	// 0 or 1 runs shards sequentially (the right default when trials
+	// are already parallel), < 0 selects GOMAXPROCS. Ignored by
+	// sim.EngineEvent.
+	SimWorkers int
+
 	runner     sim.Runner
+	flat       sim.FlatRunner
 	disp       sim.ListDispatcher
 	place      placement.Placement
 	order      []int
@@ -132,10 +145,20 @@ func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
 	} else {
 		s.order = a.Order(in)
 	}
-	if err := s.disp.Reset(p, s.order); err != nil {
-		return nil, fmt.Errorf("%s: phase 2: %w", a.Name(), err)
+	var res *sim.Result
+	var err error
+	if s.Engine == sim.EngineFlat {
+		workers := s.SimWorkers
+		if workers == 0 {
+			workers = 1
+		}
+		res, err = s.flat.RunSharded(in, p, s.order, sim.FlatOptions{}, workers)
+	} else {
+		if err := s.disp.Reset(p, s.order); err != nil {
+			return nil, fmt.Errorf("%s: phase 2: %w", a.Name(), err)
+		}
+		res, err = s.runner.Run(in, &s.disp, sim.Options{})
 	}
-	res, err := s.runner.Run(in, &s.disp, sim.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: simulation: %w", a.Name(), err)
 	}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/placement"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/task"
 )
 
@@ -89,6 +90,14 @@ type Config struct {
 	// ExactLimit caps the instance size for which the outcome's
 	// optimum is computed exactly; 0 selects the default (20 tasks).
 	ExactLimit int
+	// Engine selects the phase-2 simulator implementation: the
+	// float64 event-heap reference (sim.EngineEvent, default) or the
+	// data-oriented fixed-point core (sim.EngineFlat). Dispatch
+	// decisions agree; flat times carry ≤ 0.5e-9 s quantization.
+	Engine sim.Engine
+	// SimWorkers is the shard worker count under sim.EngineFlat;
+	// 0 or 1 is sequential, < 0 selects GOMAXPROCS.
+	SimWorkers int
 }
 
 // ErrBadConfig reports an invalid configuration.
@@ -229,6 +238,7 @@ func (r *Runner) Run(in *task.Instance, cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.scratch.Engine, r.scratch.SimWorkers = cfg.Engine, cfg.SimWorkers
 	res, err := r.scratch.Execute(in, a)
 	if err != nil {
 		return nil, err
@@ -239,6 +249,7 @@ func (r *Runner) Run(in *task.Instance, cfg Config) (*Outcome, error) {
 // Execute runs phase 2 of a previously planned placement, reusing the
 // Runner's buffers; the pooled sibling of Plan.Execute.
 func (r *Runner) Execute(pl *Plan, in *task.Instance) (*Outcome, error) {
+	r.scratch.Engine, r.scratch.SimWorkers = pl.cfg.Engine, pl.cfg.SimWorkers
 	res, err := r.scratch.Execute(in, pl.algo)
 	if err != nil {
 		return nil, err
@@ -326,10 +337,16 @@ func RunMemoryAware(in *task.Instance, cfg MemoryAwareConfig) (*MemoryAwareOutco
 	if err != nil {
 		return nil, err
 	}
+	// Makespan and memory optima are independent; batch the solver
+	// calls so they run concurrently within the trial.
+	optima := opt.EstimateBatch([]opt.Job{
+		{Times: in.Actuals(), M: in.M},
+		{Times: in.Sizes(), M: in.M},
+	}, 2)
 	out := &MemoryAwareOutcome{
 		Result:      res,
-		OptMakespan: opt.Estimate(in.Actuals(), in.M, 0),
-		OptMemory:   opt.Estimate(in.Sizes(), in.M, 0),
+		OptMakespan: optima[0],
+		OptMemory:   optima[1],
 	}
 	if cfg.Replicate {
 		out.MakespanRatioBound = bounds.ABOMakespan(in.M, in.Alpha, cfg.Delta, rho)

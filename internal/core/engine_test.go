@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+// TestFlatEngineMatchesEventEngine runs every strategy through the
+// full pipeline on both simulator engines: dispatch decisions must be
+// identical, times within the accumulated nanotick quantization, and
+// the flat engine must agree with itself exactly at every worker
+// count.
+func TestFlatEngineMatchesEventEngine(t *testing.T) {
+	in := workload.MustNew(workload.Spec{Name: "zipf", N: 80, M: 12, Alpha: 1.8, Seed: 5})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(55))
+	cfgs := []Config{
+		{Strategy: NoReplication},
+		{Strategy: ReplicateEverywhere},
+		{Strategy: Groups, Groups: 4},
+		{Strategy: Groups, Groups: 4, UseLPTWithinGroups: true},
+		{Strategy: BaselineLS},
+	}
+	eps := 1e-9 * float64(in.N()+1)
+	for _, cfg := range cfgs {
+		want, err := Run(in, cfg)
+		if err != nil {
+			t.Fatalf("%v: event engine: %v", cfg.Strategy, err)
+		}
+		flatCfg := cfg
+		flatCfg.Engine = sim.EngineFlat
+		got, err := Run(in, flatCfg)
+		if err != nil {
+			t.Fatalf("%v: flat engine: %v", cfg.Strategy, err)
+		}
+		for j, ga := range got.Schedule.Assignments {
+			wa := want.Schedule.Assignments[j]
+			if ga.Machine != wa.Machine {
+				t.Fatalf("%v: task %d machine %d vs %d across engines",
+					cfg.Strategy, j, ga.Machine, wa.Machine)
+			}
+			if math.Abs(ga.Start-wa.Start) > eps || math.Abs(ga.End-wa.End) > eps {
+				t.Fatalf("%v: task %d times drift beyond %v across engines", cfg.Strategy, j, eps)
+			}
+		}
+		if math.Abs(got.Makespan-want.Makespan) > eps {
+			t.Fatalf("%v: makespan %v vs %v", cfg.Strategy, got.Makespan, want.Makespan)
+		}
+		// Worker count must be invisible: byte-identical flat outcomes.
+		for _, workers := range []int{2, 8, -1} {
+			wcfg := flatCfg
+			wcfg.SimWorkers = workers
+			wout, err := Run(in, wcfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", cfg.Strategy, workers, err)
+			}
+			if !reflect.DeepEqual(wout.Schedule.Assignments, got.Schedule.Assignments) {
+				t.Fatalf("%v: SimWorkers=%d changes the flat schedule", cfg.Strategy, workers)
+			}
+			if wout.Makespan != got.Makespan {
+				t.Fatalf("%v: SimWorkers=%d changes makespan", cfg.Strategy, workers)
+			}
+		}
+	}
+}

@@ -77,8 +77,13 @@ func (e3) Run(w io.Writer, opts Options) error {
 			Name: "spmv", N: n, M: m, Alpha: 2, Seed: seeds[trial].base,
 		})
 		uncertainty.Extremes{}.Perturb(in, nil, rng.New(seeds[trial].perturb))
-		optMakespan := opt.Estimate(in.Actuals(), m, 0)
-		optMemory := opt.Estimate(in.Sizes(), m, 0)
+		// The two single-objective optima are independent solver calls;
+		// batch them so the exact/KK work overlaps inside one trial.
+		optima := opt.EstimateBatch([]opt.Job{
+			{Times: in.Actuals(), M: m},
+			{Times: in.Sizes(), M: m},
+		}, 2)
+		optMakespan, optMemory := optima[0], optima[1]
 		for _, d := range deltas {
 			cfg := memaware.Config{Delta: d}
 			for _, v := range variants {

@@ -156,6 +156,10 @@ func TestResetFixture(t *testing.T) {
 	runFixture(t, "reset", "reset")
 }
 
+func TestTickConvFixture(t *testing.T) {
+	runFixture(t, "tickconv", "tickconv")
+}
+
 // TestDirectiveValidation pins the malformed-directive diagnostics
 // explicitly (a malformed directive cannot carry a want comment: the
 // comment text would become its reason).

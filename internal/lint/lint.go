@@ -78,6 +78,7 @@ func NewAnalyzers() []*Analyzer {
 		newErrDrop(),
 		newObsNames(),
 		newReset(),
+		newTickConv(),
 	}
 }
 

@@ -44,7 +44,7 @@ func TestLoadRecursivePattern(t *testing.T) {
 	for _, p := range pkgs {
 		paths = append(paths, p.Path)
 	}
-	want := []string{"internal/obs", "internal/rng"}
+	want := []string{"internal/obs", "internal/rng", "internal/tick"}
 	if len(paths) != len(want) {
 		t.Fatalf("got packages %v, want %v", paths, want)
 	}

@@ -1,0 +1,13 @@
+// Package tick is a minimal stand-in for repro/internal/tick, just
+// enough surface for the tickconv fixtures to type-check. The
+// analyzer matches it by its import-path tail, internal/tick.
+package tick
+
+// Tick mirrors the real fixed-point time unit.
+type Tick int64
+
+// PerSecond mirrors the real resolution constant.
+const PerSecond Tick = 1_000_000_000
+
+// FromSeconds mirrors the sanctioned conversion.
+func FromSeconds(s float64) (Tick, error) { return Tick(s * float64(PerSecond)), nil }

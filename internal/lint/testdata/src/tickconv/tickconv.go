@@ -1,0 +1,45 @@
+// Package tickconv exercises the tick-conversion analyzer: every
+// float→tick conversion must go through tick.FromSeconds so all call
+// sites share one rounding rule. Run with the tickconv analyzer only.
+package tickconv
+
+import "internal/tick"
+
+// direct hand-rolls the conversion: truncation instead of rounding,
+// and no finiteness check.
+func direct(sec float64) tick.Tick {
+	return tick.Tick(sec * 1e9) // want "tickconv: float converted to tick.Tick directly"
+}
+
+// viaPerSecond is the same bug dressed up with the real constant.
+func viaPerSecond(sec float64) tick.Tick {
+	return tick.Tick(sec * float64(tick.PerSecond)) // want "tickconv: float converted to tick.Tick directly"
+}
+
+// truncateThenWrap launders the float through int64 first.
+func truncateThenWrap(sec float64) tick.Tick {
+	return tick.Tick(int64(sec * 1e9)) // want "tickconv: float truncated to integer then converted to tick.Tick"
+}
+
+// constConversion converts an untyped constant, which the compiler
+// only admits when it is exactly representable: clean.
+func constConversion() tick.Tick {
+	return tick.Tick(1.5e9)
+}
+
+// sanctioned goes through FromSeconds: clean.
+func sanctioned(sec float64) (tick.Tick, error) {
+	return tick.FromSeconds(sec)
+}
+
+// integerMath converts plain integer state: clean. Tick arithmetic on
+// already-converted values is the engine's whole point.
+func integerMath(n int64) tick.Tick {
+	return tick.Tick(n) * 2
+}
+
+// suppressed documents a deliberate raw conversion.
+func suppressed(sec float64) tick.Tick {
+	//lint:ignore tickconv fixture exercises the suppression path
+	return tick.Tick(sec * 1e9)
+}

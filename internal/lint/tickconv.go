@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newTickConv builds the tick-conversion analyzer. Simulated time in
+// the flat engine is int64 fixed-point (tick.Tick), and the whole
+// byte-identity argument — shard results merging independently of
+// worker interleaving — rests on every float→tick conversion going
+// through one rounding rule. tick.FromSeconds is that rule: round
+// half-away-from-zero, NaN/Inf rejected, overflow saturated
+// explicitly. A hand-rolled conversion (tick.Tick(sec * 1e9), or
+// tick.Tick(int64(sec * float64(tick.PerSecond)))) silently picks
+// truncation instead of rounding and drops the finiteness check, so
+// two call sites converting the same duration can disagree by one
+// tick — exactly the class of drift the differential suite cannot
+// localize. The rule flags, outside internal/tick itself:
+//
+//   - any conversion to tick.Tick whose operand is floating-point;
+//   - any conversion to tick.Tick whose operand is itself an integer
+//     conversion of a floating-point expression (the truncate-then-
+//     wrap idiom).
+func newTickConv() *Analyzer {
+	return &Analyzer{
+		Name: "tickconv",
+		Doc:  "require tick.FromSeconds for float-to-tick conversions",
+		Run:  runTickConv,
+	}
+}
+
+func runTickConv(p *Pass) {
+	if pathTail(p.Pkg.Path, "internal/tick") {
+		return
+	}
+	info := p.Pkg.Info
+	p.inspectStack(func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if !isTickType(convTargetType(info, call)) {
+			return true
+		}
+		arg := ast.Unparen(call.Args[0])
+		if isFloatExpr(info, arg) {
+			p.Reportf(call.Pos(), "float converted to tick.Tick directly: tick.FromSeconds is the only sanctioned float-to-tick path")
+			return true
+		}
+		// The truncate-then-wrap idiom: tick.Tick(int64(floatExpr)).
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			t := convTargetType(info, inner)
+			if t != nil && isIntegerType(t) && isFloatExpr(info, ast.Unparen(inner.Args[0])) {
+				p.Reportf(call.Pos(), "float truncated to integer then converted to tick.Tick: tick.FromSeconds is the only sanctioned float-to-tick path")
+			}
+		}
+		return true
+	})
+}
+
+// convTargetType returns the type a single-argument call converts to,
+// or nil when the call is an ordinary function call.
+func convTargetType(info *types.Info, call *ast.CallExpr) types.Type {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	return tv.Type
+}
+
+// isTickType reports whether t is internal/tick's Tick.
+func isTickType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Tick" && obj.Pkg() != nil && pathTail(obj.Pkg().Path(), "internal/tick")
+}
+
+// isFloatExpr reports whether expr's type is floating-point. Untyped
+// constants inside a conversion already carry the target type and are
+// exempt: the compiler only admits them when exactly representable.
+func isFloatExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isIntegerType reports whether t's underlying type is an integer.
+func isIntegerType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}

@@ -1,0 +1,33 @@
+package opt
+
+import "repro/internal/par"
+
+// Job is one Estimate request in a batch: certify bounds for times on
+// m machines, with the exact solver enabled up to exactLimit tasks
+// (≤ 0 selects the default, as in Estimate).
+type Job struct {
+	// Times are the processing times to partition.
+	Times []float64
+	// M is the machine count.
+	M int
+	// ExactLimit bounds the exact solver, as in Estimate.
+	ExactLimit int
+}
+
+// EstimateBatch runs Estimate over jobs on the given number of
+// workers (≤ 0 selects GOMAXPROCS) and returns the results in job
+// order. A single experiment trial scores several quantities — optimum
+// makespan over actuals, optimum memory over sizes, per-strategy
+// brackets — that are mutually independent solver calls; batching them
+// overlaps the exact/KK work instead of serializing it. Results are
+// identical to calling Estimate in a loop: Estimate is pure apart from
+// the memo cache, and the cache is sharded and concurrency-safe.
+func EstimateBatch(jobs []Job, workers int) []Result {
+	if len(jobs) == 1 {
+		// Not worth a goroutine handoff; common in small trials.
+		return []Result{Estimate(jobs[0].Times, jobs[0].M, jobs[0].ExactLimit)}
+	}
+	return par.Map(len(jobs), workers, func(i int) Result {
+		return Estimate(jobs[i].Times, jobs[i].M, jobs[i].ExactLimit)
+	})
+}

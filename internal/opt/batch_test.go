@@ -1,0 +1,38 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestEstimateBatchMatchesLoop pins EstimateBatch to a sequential
+// Estimate loop at several worker counts, including the single-job
+// fast path.
+func TestEstimateBatchMatchesLoop(t *testing.T) {
+	src := rng.New(7)
+	var jobs []Job
+	for k := 0; k < 6; k++ {
+		times := make([]float64, 5+k*9)
+		for i := range times {
+			times[i] = src.Uniform(1, 50)
+		}
+		jobs = append(jobs, Job{Times: times, M: 2 + k, ExactLimit: 8})
+	}
+	want := make([]Result, len(jobs))
+	for i, j := range jobs {
+		want[i] = Estimate(j.Times, j.M, j.ExactLimit)
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		got := EstimateBatch(jobs, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d job %d: %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	single := EstimateBatch(jobs[:1], 4)
+	if len(single) != 1 || single[0] != want[0] {
+		t.Fatalf("single-job batch: %+v, want %+v", single, want[0])
+	}
+}

@@ -15,13 +15,18 @@ import (
 // spread by pairing the heaviest load of one with the lightest of the
 // other. Complexity O(n·(log n + m log m)).
 //
-// The heap is a specialized inline implementation mirroring
-// container/heap's sift procedures operation-for-operation, so the pop
-// order among equal-spread vectors — and therefore the returned value —
-// is identical to the previous container/heap version, without boxing
-// every vector through interface{}. All n initial vectors are carved
-// from one slab, and each merge writes into the popped vector instead
-// of allocating a fresh one.
+// The heap is a specialized inline implementation (no container/heap
+// boxing) keyed by (spread descending, creation sequence ascending).
+// The sequence tie-break matters: equal spreads are common (duplicate
+// task times produce identical singleton vectors), and without it the
+// pop order among ties — and therefore the merge tree and the returned
+// bound — would be an artifact of heap internals, changing whenever
+// the sift procedures do. With it, the pop order is a total order of
+// the inputs alone: ties resolve to the earliest-created vector
+// (initial vectors in input position order, merged vectors in merge
+// order). TestKarmarkarKarpTieOrderStable pins this. All n initial
+// vectors are carved from one slab, and each merge writes into the
+// popped vector instead of allocating a fresh one.
 func KarmarkarKarp(times []float64, m int) float64 {
 	n := len(times)
 	if n == 0 {
@@ -36,14 +41,16 @@ func KarmarkarKarp(times []float64, m int) float64 {
 	}
 
 	slab := make([]float64, n*m) // ascending loads; only the last is non-zero
-	h := make(ldmHeap, n)
+	h := ldmHeap{vec: make([][]float64, n), seq: make([]int32, n)}
 	for i, p := range times {
 		v := slab[i*m : (i+1)*m : (i+1)*m]
 		v[m-1] = p
-		h[i] = v
+		h.vec[i] = v
+		h.seq[i] = int32(i)
 	}
+	nextSeq := int32(n)
 	h.init()
-	for len(h) > 1 {
+	for len(h.vec) > 1 {
 		a := h.pop()
 		b := h.pop()
 		// Pair a's largest with b's smallest and vice versa: cancels the
@@ -53,30 +60,42 @@ func KarmarkarKarp(times []float64, m int) float64 {
 			a[i] += b[m-1-i]
 		}
 		sort.Float64s(a)
-		h.push(a)
+		h.push(a, nextSeq)
+		nextSeq++
 	}
-	return h[0][m-1] // makespan = largest load
+	return h.vec[0][m-1] // makespan = largest load
 }
 
 // ldmHeap orders partial solutions by descending spread
-// (max load − min load). The sift procedures replicate container/heap
-// exactly; see KarmarkarKarp.
-type ldmHeap [][]float64
-
-func (h ldmHeap) less(a, b int) bool {
-	sa := h[a][len(h[a])-1] - h[a][0]
-	sb := h[b][len(h[b])-1] - h[b][0]
-	return sa > sb
+// (max load − min load), ties by ascending creation sequence so the
+// pop order is total; see KarmarkarKarp.
+type ldmHeap struct {
+	vec [][]float64
+	seq []int32
 }
 
-func (h ldmHeap) init() {
-	n := len(h)
+func (h *ldmHeap) less(a, b int) bool {
+	sa := h.vec[a][len(h.vec[a])-1] - h.vec[a][0]
+	sb := h.vec[b][len(h.vec[b])-1] - h.vec[b][0]
+	if sa != sb {
+		return sa > sb
+	}
+	return h.seq[a] < h.seq[b]
+}
+
+func (h *ldmHeap) swap(i, j int) {
+	h.vec[i], h.vec[j] = h.vec[j], h.vec[i]
+	h.seq[i], h.seq[j] = h.seq[j], h.seq[i]
+}
+
+func (h *ldmHeap) init() {
+	n := len(h.vec)
 	for i := n/2 - 1; i >= 0; i-- {
 		h.down(i, n)
 	}
 }
 
-func (h ldmHeap) down(i0, n int) {
+func (h *ldmHeap) down(i0, n int) {
 	i := i0
 	for {
 		j1 := 2*i + 1
@@ -90,33 +109,34 @@ func (h ldmHeap) down(i0, n int) {
 		if !h.less(j, i) {
 			return
 		}
-		h[i], h[j] = h[j], h[i]
+		h.swap(i, j)
 		i = j
 	}
 }
 
-func (h ldmHeap) up(j int) {
+func (h *ldmHeap) up(j int) {
 	for {
 		i := (j - 1) / 2
 		if i == j || !h.less(j, i) {
 			return
 		}
-		h[i], h[j] = h[j], h[i]
+		h.swap(i, j)
 		j = i
 	}
 }
 
-func (h *ldmHeap) push(v []float64) {
-	*h = append(*h, v)
-	h.up(len(*h) - 1)
+func (h *ldmHeap) push(v []float64, seq int32) {
+	h.vec = append(h.vec, v)
+	h.seq = append(h.seq, seq)
+	h.up(len(h.vec) - 1)
 }
 
 func (h *ldmHeap) pop() []float64 {
-	old := *h
-	last := len(old) - 1
-	old[0], old[last] = old[last], old[0]
-	old.down(0, last)
-	v := old[last]
-	*h = old[:last]
+	last := len(h.vec) - 1
+	h.swap(0, last)
+	h.down(0, last)
+	v := h.vec[last]
+	h.vec = h.vec[:last]
+	h.seq = h.seq[:last]
 	return v
 }

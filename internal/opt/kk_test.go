@@ -84,6 +84,33 @@ func TestEstimateUsesKK(t *testing.T) {
 	}
 }
 
+// TestKarmarkarKarpTieOrderStable pins the seq tie-break: instances
+// made of duplicate times put many equal-spread vectors in the LDM
+// heap at once, and the pop order among them must be a function of the
+// input alone — earliest-created first — not of sift internals. The
+// all-ties instance has a hand-computable merge tree; any tie-break
+// drift changes the intermediate pairings and would show up either as
+// a different value here or as nondeterminism across repeats.
+func TestKarmarkarKarpTieOrderStable(t *testing.T) {
+	// 4×1.0 on 2 machines: pairs merge in seq order to [1,1] twice,
+	// then to [2,2] — makespan exactly 2.
+	if got := KarmarkarKarp([]float64{1, 1, 1, 1}, 2); got != 2 {
+		t.Fatalf("all-ties KK = %v, want 2", got)
+	}
+	// A larger duplicate-heavy instance: only repeatability is asserted,
+	// across fresh heaps, many times.
+	times := make([]float64, 64)
+	for i := range times {
+		times[i] = float64(1 + i%4) // heavy duplication: 16 of each value
+	}
+	want := KarmarkarKarp(times, 5)
+	for rep := 0; rep < 50; rep++ {
+		if got := KarmarkarKarp(times, 5); got != want {
+			t.Fatalf("rep %d: KK = %v, want %v — tied pop order not stable", rep, got, want)
+		}
+	}
+}
+
 func BenchmarkKarmarkarKarp1000(b *testing.B) {
 	src := rng.New(1)
 	times := make([]float64, 1000)

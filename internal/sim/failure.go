@@ -79,7 +79,16 @@ func RunWithFailures(in *task.Instance, p *placement.Placement, order []int,
 		q = append(q, idleEvent{time: 0, machine: i})
 	}
 	crashQ := append([]Failure(nil), failures...)
-	sort.Slice(crashQ, func(a, b int) bool { return crashQ[a].Time < crashQ[b].Time })
+	// (Time, Machine) — the same total order the event queue uses. A
+	// Time-only sort would leave same-instant crashes on different
+	// machines in caller order, and the caller's slice order must not
+	// be able to change which ErrUnsurvivable a doomed run reports.
+	sort.Slice(crashQ, func(a, b int) bool {
+		if crashQ[a].Time != crashQ[b].Time {
+			return crashQ[a].Time < crashQ[b].Time
+		}
+		return crashQ[a].Machine < crashQ[b].Machine
+	})
 
 	nextRetry := func(machine int) (int, bool) {
 		bestTask, bestPos := -1, n

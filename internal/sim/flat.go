@@ -1,0 +1,509 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/tick"
+)
+
+var (
+	simFlatRuns   = obs.GetCounter("sim.flat_runs")
+	simFlatShards = obs.GetCounter("sim.flat_shards")
+)
+
+// Engine selects a phase-2 simulator implementation. The two engines
+// execute the same list-scheduling semantics; they differ in number
+// representation and memory layout, and therefore in speed and in the
+// last ulp of reported times.
+type Engine int
+
+const (
+	// EngineEvent is the float64 event-heap reference engine
+	// (Runner/ListDispatcher): pluggable Dispatcher interface, exact
+	// float arithmetic, the engine every analytic experiment and
+	// metamorphic anchor runs on.
+	EngineEvent Engine = iota
+	// EngineFlat is the data-oriented engine (FlatRunner): flat SoA
+	// state, int64 fixed-point time, and per-group sharded execution.
+	// Times are quantized to nanoticks (error ≤ 0.5e-9 s per duration,
+	// inside sched.Verify's tolerance); list-scheduling decisions match
+	// EngineEvent except on sub-nanotick ties.
+	EngineFlat
+)
+
+// FlatOptions configures a flat-engine run. It is the FlatRunner
+// counterpart of Options plus fail-stop crash injection.
+type FlatOptions struct {
+	// Trace records start/finish events, exactly as Options.Trace.
+	Trace bool
+	// Duration, when non-nil, overrides the executed duration of a task
+	// on a machine, under the same contract as Options.Duration
+	// (deterministic, non-negative, exactly once per started task on a
+	// successful run; on an error return, shards that were still
+	// running may have invoked it for tasks the sequential engine would
+	// not have reached).
+	Duration func(taskID, machine int) float64
+	// Failures injects fail-stop machine crashes with RunWithFailures
+	// semantics. Incompatible with Trace and Duration, as in the
+	// reference engine (RunWithFailures exposes neither).
+	Failures []Failure
+}
+
+// spanError is a shard-local error together with the (time, machine)
+// event key it was raised at, so the merge can return exactly the
+// error a sequential run over the global event order would have hit
+// first: the minimum key across shards.
+type spanError struct {
+	key mEvent
+	err error
+}
+
+// FlatRunner is the data-oriented simulator core: the hot state of a
+// run lives in flat structure-of-arrays slices indexed by task and
+// machine IDs (no pointers to chase), simulated time is int64
+// fixed-point (tick.Tick), and execution is decomposed into
+// independent shards — the connected components of the "shares a
+// replica set" relation over machines. Under the paper's group:k
+// placement each replica group is one shard; under no-replication
+// every machine is its own shard and the event heap disappears
+// entirely; under replicate-everywhere there is a single shard and the
+// engine degenerates to one global event loop.
+//
+// Layout:
+//
+//	tasks    durTick[j]            executed ticks (no Duration hook)
+//	         started[j]            handed out yet?
+//	         taskShard[j]          owning shard
+//	machines qTasks[qOff[i]:qOff[i+1]]  per-machine queue: eligible
+//	                               task IDs in priority order (CSR)
+//	         head[i]               queue scan position
+//	shards   shardMachines[shardOff[s]:shardOff[s+1]]  member machines
+//	         shardTaskOff[s]       prefix sums of per-shard task counts
+//
+// Because tasks never cross shards, every Assignment, trace region,
+// and started flag a shard writes is disjoint from every other
+// shard's, so shards run on par workers with plain (non-atomic) writes
+// and the merged output is byte-identical to the sequential order —
+// int64 time makes per-machine completion times exact sums, not
+// rounding-order-dependent floats. The differential suite in
+// flat_test.go pins that equivalence at every worker count.
+//
+// The zero value is ready to use. Like Runner, a FlatRunner owns the
+// Result it returns (valid until the next call), performs zero
+// steady-state allocations across same-shaped runs, and is not safe
+// for concurrent use.
+type FlatRunner struct {
+	// SoA task state.
+	durTick    []tick.Tick
+	started    []bool
+	taskShard  []int32
+	priorityOf []int32 // failure mode: position of task in the order
+
+	// CSR per-machine queues.
+	qTasks []int32
+	qOff   []int32
+	head   []int32
+
+	// Shard decomposition.
+	parent        []int32 // union-find scratch over machines
+	shardOf       []int32
+	shardMachines []int32
+	shardOff      []int32
+	shardTaskOff  []int32
+	nShards       int
+
+	// Per-shard outcome slots, written by exactly one worker each.
+	shardStarted []int32
+	shardErrs    []spanError
+
+	// Failure-mode state, sized only when Failures are present.
+	dead       []bool
+	dormant    []bool
+	dormantAt  []tick.Tick
+	runTask    []int32
+	runEnd     []tick.Tick
+	completed  []bool
+	shardTasks []int32
+	crashes    []mEvent
+
+	// Per-worker event-loop scratch.
+	scratch []flatScratch
+
+	// opts is the caller's FlatOptions for the current run, copied
+	// here so the engine passes a pointer to already-heap-resident
+	// state around instead of letting a parameter escape per call.
+	// run clears it on exit so a caller's Duration closure or
+	// Failures slice is not retained past the run that used it.
+	opts FlatOptions
+
+	sched sched.Schedule
+	res   Result
+}
+
+// Reset re-initializes every field of the FlatRunner for an n-task,
+// m-machine run, retaining capacity. Slices are truncated here and
+// regrown to their exact sizes in prepare; Run calls it internally.
+func (r *FlatRunner) Reset(n, m int) {
+	r.durTick = r.durTick[:0]
+	r.started = r.started[:0]
+	r.taskShard = r.taskShard[:0]
+	r.priorityOf = r.priorityOf[:0]
+	r.qTasks = r.qTasks[:0]
+	r.qOff = r.qOff[:0]
+	r.head = r.head[:0]
+	r.parent = r.parent[:0]
+	r.shardOf = r.shardOf[:0]
+	r.shardMachines = r.shardMachines[:0]
+	r.shardOff = r.shardOff[:0]
+	r.shardTaskOff = r.shardTaskOff[:0]
+	r.nShards = 0
+	r.shardStarted = r.shardStarted[:0]
+	r.shardErrs = r.shardErrs[:0]
+	r.dead = r.dead[:0]
+	r.dormant = r.dormant[:0]
+	r.dormantAt = r.dormantAt[:0]
+	r.runTask = r.runTask[:0]
+	r.runEnd = r.runEnd[:0]
+	r.completed = r.completed[:0]
+	r.shardTasks = r.shardTasks[:0]
+	r.crashes = r.crashes[:0]
+	r.scratch = r.scratch[:0] // backing entries (and their buffers) are reused
+	r.opts = FlatOptions{}
+	r.sched.Reset(n, m)
+	r.res = Result{Schedule: &r.sched, Trace: r.res.Trace[:0]}
+}
+
+// RunFlat executes the instance on the flat engine sequentially (one
+// global event loop, no shard decomposition). The returned Result is
+// freshly allocated and caller-owned.
+func RunFlat(in *task.Instance, p *placement.Placement, order []int, opts FlatOptions) (*Result, error) {
+	var r FlatRunner
+	return r.Run(in, p, order, opts)
+}
+
+// RunFlatSharded is RunFlat through the shard decomposition on the
+// given number of workers; see FlatRunner.RunSharded.
+func RunFlatSharded(in *task.Instance, p *placement.Placement, order []int,
+	opts FlatOptions, workers int) (*Result, error) {
+	var r FlatRunner
+	return r.RunSharded(in, p, order, opts, workers)
+}
+
+// Run executes list scheduling over the placement and priority order
+// on the flat engine, as a single event loop over all machines — the
+// sequential reference the sharded path is differentially tested
+// against. Results are byte-identical to RunSharded at every worker
+// count.
+func (r *FlatRunner) Run(in *task.Instance, p *placement.Placement, order []int,
+	opts FlatOptions) (*Result, error) {
+	return r.run(in, p, order, opts, 1, false)
+}
+
+// RunSharded partitions the instance into independent shards (the
+// connected components of machines linked by shared replica sets),
+// runs each shard's event loop on one of workers goroutines
+// (workers ≤ 0 selects GOMAXPROCS; workers == 1 runs inline with zero
+// goroutines), and merges the results. The merged Schedule, Trace,
+// and error are byte-identical to Run for every worker count: shards
+// share no tasks, int64 tick sums are interleaving-independent, and
+// equal-key trace events are same-machine and therefore same-shard.
+func (r *FlatRunner) RunSharded(in *task.Instance, p *placement.Placement, order []int,
+	opts FlatOptions, workers int) (*Result, error) {
+	return r.run(in, p, order, opts, workers, true)
+}
+
+func (r *FlatRunner) run(in *task.Instance, p *placement.Placement, order []int,
+	o FlatOptions, workers int, sharded bool) (*Result, error) {
+	defer func() { r.opts = FlatOptions{} }()
+	n, m := in.N(), in.M
+	r.Reset(n, m)
+	// Copy the options into the reused field instead of taking &o: the
+	// address of a parameter escapes and would cost one heap
+	// allocation per call, breaking the 0 allocs/op invariant the
+	// benchmarks gate. Assigned after Reset (which clears the field)
+	// and released on exit by the deferred clear above.
+	r.opts = o
+	opts := &r.opts
+	if err := r.prepare(in, p, order, opts, sharded); err != nil {
+		return nil, err
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > r.nShards {
+		workers = r.nShards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r.ensureScratch(workers)
+	if workers <= 1 {
+		sc := &r.scratch[0]
+		for s := 0; s < r.nShards; s++ {
+			r.runSpan(in, p, s, sc, opts)
+		}
+	} else {
+		// Striped shard assignment: worker w owns shards w, w+workers,
+		// … . Ownership is deterministic but irrelevant to output —
+		// every write a shard makes is into task-, machine-, or
+		// shard-indexed slots no other shard touches.
+		par.Map(workers, workers, func(w int) struct{} {
+			sc := &r.scratch[w]
+			for s := w; s < r.nShards; s += workers {
+				r.runSpan(in, p, s, sc, opts)
+			}
+			return struct{}{}
+		})
+	}
+	simFlatRuns.Inc()
+	simFlatShards.Add(int64(r.nShards))
+
+	// Merge: the error a sequential global event loop would hit first
+	// is the one with the minimum (time, machine) key across shards.
+	errAt := -1
+	for s := 0; s < r.nShards; s++ {
+		if r.shardErrs[s].err == nil {
+			continue
+		}
+		if errAt < 0 || mLess(r.shardErrs[s].key, r.shardErrs[errAt].key) {
+			errAt = s
+		}
+	}
+	if errAt >= 0 {
+		return nil, r.shardErrs[errAt].err
+	}
+	total := 0
+	for s := 0; s < r.nShards; s++ {
+		total += int(r.shardStarted[s])
+	}
+	if total != n {
+		if len(r.crashes) > 0 {
+			return nil, fmt.Errorf("sim: %d of %d tasks never completed", n-total, n)
+		}
+		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-total, n)
+	}
+	if opts.Trace {
+		sortTrace(r.res.Trace)
+	}
+	return &r.res, nil
+}
+
+// prepare validates the inputs and builds the SoA state: durations in
+// ticks, CSR queues, the shard decomposition, per-shard slots, and —
+// when failures are injected — the crash list and failure-mode arrays.
+func (r *FlatRunner) prepare(in *task.Instance, p *placement.Placement, order []int,
+	opts *FlatOptions, sharded bool) error {
+	n, m := in.N(), in.M
+	if p.N() != n || p.M != m {
+		return fmt.Errorf("sim: placement %dx%d does not match instance %dx%d",
+			p.N(), p.M, n, m)
+	}
+	if len(order) != n {
+		return fmt.Errorf("sim: priority order has %d entries for %d tasks", len(order), n)
+	}
+	if err := placement.CheckSets(p.Sets, m); err != nil {
+		return err
+	}
+	if len(opts.Failures) > 0 && (opts.Trace || opts.Duration != nil) {
+		return fmt.Errorf("sim: failures cannot be combined with Trace or Duration")
+	}
+
+	// Permutation check; started doubles as the seen-scratch, exactly
+	// as in ListDispatcher.Reset.
+	r.started = growBoolZero(r.started, n)
+	for _, j := range order {
+		if j < 0 || j >= n || r.started[j] {
+			return fmt.Errorf("sim: priority order is not a permutation (task %d)", j)
+		}
+		r.started[j] = true
+	}
+	clear(r.started)
+
+	// Executed durations in ticks. Under a Duration hook the executed
+	// time depends on the machine and is converted at dispatch instead.
+	if opts.Duration == nil {
+		r.durTick = growTick(r.durTick, n)
+		for j := 0; j < n; j++ {
+			t, err := tick.FromSeconds(in.Tasks[j].Actual)
+			if err != nil {
+				return fmt.Errorf("sim: task %d actual time: %w", j, err)
+			}
+			if t < 0 {
+				return fmt.Errorf("sim: task %d has negative actual time %v", j, in.Tasks[j].Actual)
+			}
+			r.durTick[j] = t
+		}
+	}
+
+	// CSR queues: queue of machine i is qTasks[qOff[i]:qOff[i+1]],
+	// task IDs in priority order — ListDispatcher's [][]int flattened
+	// into two slabs.
+	r.qOff = growI32Zero(r.qOff, m+1)
+	for j := 0; j < n; j++ {
+		for _, i := range p.Sets[j] {
+			r.qOff[i+1]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		r.qOff[i+1] += r.qOff[i]
+	}
+	r.qTasks = growI32(r.qTasks, int(r.qOff[m]))
+	r.head = growI32Zero(r.head, m) // fill cursors here, scan positions during the run
+	for _, j := range order {
+		for _, i := range p.Sets[j] {
+			r.qTasks[r.qOff[i]+r.head[i]] = int32(j)
+			r.head[i]++
+		}
+	}
+	clear(r.head)
+
+	if sharded {
+		r.partition(p)
+	} else {
+		r.partitionTrivial(n, m)
+	}
+
+	// Per-shard task counts → trace regions and (failure mode) task
+	// lists.
+	r.shardTaskOff = growI32Zero(r.shardTaskOff, r.nShards+1)
+	for j := 0; j < n; j++ {
+		r.shardTaskOff[r.taskShard[j]+1]++
+	}
+	for s := 0; s < r.nShards; s++ {
+		r.shardTaskOff[s+1] += r.shardTaskOff[s]
+	}
+	r.shardStarted = growI32Zero(r.shardStarted, r.nShards)
+	r.shardErrs = growSpanErr(r.shardErrs, r.nShards)
+
+	if opts.Trace {
+		r.res.Trace = growEvent(r.res.Trace, 2*n)
+	}
+
+	if len(opts.Failures) > 0 {
+		if err := r.prepareFailures(in, order, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *FlatRunner) prepareFailures(in *task.Instance, order []int, opts *FlatOptions) error {
+	n, m := in.N(), in.M
+	r.crashes = r.crashes[:0]
+	for _, f := range opts.Failures {
+		if f.Machine < 0 || f.Machine >= m {
+			return fmt.Errorf("sim: failure on invalid machine %d", f.Machine)
+		}
+		if f.Time < 0 {
+			return fmt.Errorf("sim: failure at negative time %v", f.Time)
+		}
+		t, err := tick.FromSeconds(f.Time)
+		if err != nil {
+			return fmt.Errorf("sim: failure time on machine %d: %w", f.Machine, err)
+		}
+		r.crashes = append(r.crashes, mEvent{t: t, m: int32(f.Machine)})
+	}
+	// Deterministic crash order: (time, machine), the same total order
+	// the event queue uses. Duplicate keys are identical crashes; the
+	// second is a no-op on an already-dead machine.
+	sort.Slice(r.crashes, func(a, b int) bool { return mLess(r.crashes[a], r.crashes[b]) })
+
+	r.priorityOf = growI32(r.priorityOf, n)
+	for pos, j := range order {
+		r.priorityOf[j] = int32(pos)
+	}
+	// shardTasks: tasks grouped by shard (CSR with shardTaskOff), for
+	// the per-crash strand checks. shardStarted is borrowed as the fill
+	// cursor and re-zeroed — spans have not run yet.
+	r.shardTasks = growI32(r.shardTasks, n)
+	for j := 0; j < n; j++ {
+		s := r.taskShard[j]
+		r.shardTasks[r.shardTaskOff[s]+r.shardStarted[s]] = int32(j)
+		r.shardStarted[s]++
+	}
+	clear(r.shardStarted)
+
+	r.dead = growBoolZero(r.dead, m)
+	r.dormant = growBoolZero(r.dormant, m)
+	r.dormantAt = growTickZero(r.dormantAt, m)
+	r.runTask = growI32(r.runTask, m)
+	for i := range r.runTask {
+		r.runTask[i] = -1
+	}
+	r.runEnd = growTickZero(r.runEnd, m)
+	r.completed = growBoolZero(r.completed, n)
+	return nil
+}
+
+func (r *FlatRunner) ensureScratch(workers int) {
+	if cap(r.scratch) < workers {
+		next := make([]flatScratch, workers)
+		copy(next, r.scratch[:cap(r.scratch)])
+		r.scratch = next
+		return
+	}
+	r.scratch = r.scratch[:workers]
+}
+
+// Slice-regrow helpers: retain capacity, reallocate only on growth.
+// The Zero variants clear the live region; the plain variants are for
+// slices every element of which is overwritten before being read.
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI32Zero(s []int32, n int) []int32 {
+	s = growI32(s, n)
+	clear(s)
+	return s
+}
+
+func growBoolZero(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growTick(s []tick.Tick, n int) []tick.Tick {
+	if cap(s) < n {
+		return make([]tick.Tick, n)
+	}
+	return s[:n]
+}
+
+func growTickZero(s []tick.Tick, n int) []tick.Tick {
+	s = growTick(s, n)
+	clear(s)
+	return s
+}
+
+func growSpanErr(s []spanError, n int) []spanError {
+	if cap(s) < n {
+		return make([]spanError, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growEvent(s []Event, n int) []Event {
+	if cap(s) < n {
+		return make([]Event, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/uncertainty"
+	"repro/internal/workload"
+)
+
+// flatWorkerCounts is the satellite-1 matrix: sequential, small,
+// oversubscribed, and whatever this host actually has.
+func flatWorkerCounts() []int {
+	return []int{1, 2, 8, runtime.NumCPU()}
+}
+
+// flatCase is one (instance, placement, order) triple for the
+// differential suite.
+type flatCase struct {
+	name  string
+	in    *task.Instance
+	p     *placement.Placement
+	order []int
+}
+
+// lptOrder ranks tasks by non-increasing estimate (the paper's LPT
+// priority), ties toward lower IDs.
+func lptOrder(in *task.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return in.Tasks[order[a]].Estimate > in.Tasks[order[b]].Estimate
+	})
+	return order
+}
+
+// nonePlacement maps each task to a single machine — every machine
+// becomes its own singleton shard.
+func nonePlacement(n, m int, seed uint64) *placement.Placement {
+	p := placement.New(n, m)
+	r := rng.New(seed)
+	for j := 0; j < n; j++ {
+		p.Assign(j, r.Intn(m))
+	}
+	return p
+}
+
+// groupPlacement partitions machines into ⌈m/k⌉ groups of size ≤ k and
+// places each task on one whole group — the paper's group:k strategy,
+// which is exactly the shape the sharded runner decomposes.
+func groupPlacement(t *testing.T, n, m, k int, seed uint64) *placement.Placement {
+	t.Helper()
+	groups, err := placement.PartitionGroups(m, k)
+	if err != nil {
+		t.Fatalf("PartitionGroups(%d,%d): %v", m, k, err)
+	}
+	p := placement.New(n, m)
+	r := rng.New(seed)
+	for j := 0; j < n; j++ {
+		p.AssignSet(j, groups[r.Intn(len(groups))])
+	}
+	return p
+}
+
+// mixedPlacement mixes singleton, group, and everywhere sets in one
+// instance so a single run exercises replayLinear and runSpanHeap
+// shards side by side (plus the big component they all merge into for
+// the tasks placed everywhere — exercised in its own case instead).
+func mixedPlacement(n, m int, seed uint64) *placement.Placement {
+	p := placement.New(n, m)
+	r := rng.New(seed)
+	half := m / 2
+	for j := 0; j < n; j++ {
+		switch j % 3 {
+		case 0: // singleton on a low machine
+			p.Assign(j, r.Intn(half))
+		case 1: // pair group among high machines
+			a := half + r.Intn(m-half)
+			b := half + (a-half+1)%(m-half)
+			if a == b {
+				p.Assign(j, a)
+			} else {
+				p.AssignSet(j, []int{a, b})
+			}
+		default: // singleton on a high machine, densifying shards
+			p.Assign(j, half+r.Intn(m-half))
+		}
+	}
+	return p
+}
+
+// flatCases builds the none/group:k/all/mixed matrix over a few
+// shapes, with perturbed (continuous) durations.
+func flatCases(t *testing.T) []flatCase {
+	t.Helper()
+	var cases []flatCase
+	shapes := []struct {
+		n, m, k int
+		seed    uint64
+	}{
+		{40, 8, 2, 11},
+		{60, 12, 3, 12},
+		{25, 5, 5, 13}, // group of m: single shard
+		{30, 6, 1, 14}, // group of 1: all singleton shards
+	}
+	for _, s := range shapes {
+		in := workload.MustNew(workload.Spec{
+			Name: "zipf", N: s.n, M: s.m, Alpha: 1.8, Seed: s.seed,
+		})
+		uncertainty.Uniform{}.Perturb(in, nil, rng.New(s.seed^0x5eed))
+		order := lptOrder(in)
+		cases = append(cases,
+			flatCase{"none", in, nonePlacement(s.n, s.m, s.seed), order},
+			flatCase{"group", in, groupPlacement(t, s.n, s.m, s.k, s.seed), order},
+			flatCase{"all", in, placement.Everywhere(s.n, s.m), order},
+			flatCase{"mixed", in, mixedPlacement(s.n, s.m, s.seed), order},
+		)
+	}
+	return cases
+}
+
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+		t.Errorf("%s: schedule diverges", label)
+	}
+	if got.Schedule.M != want.Schedule.M {
+		t.Errorf("%s: M = %d, want %d", label, got.Schedule.M, want.Schedule.M)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace length %d, want %d", label, len(got.Trace), len(want.Trace))
+	}
+	for i := range got.Trace {
+		if got.Trace[i] != want.Trace[i] {
+			t.Fatalf("%s: trace[%d] = %+v, want %+v", label, i, got.Trace[i], want.Trace[i])
+		}
+	}
+}
+
+// TestFlatShardedMatchesRun is the core satellite-1 differential:
+// RunSharded at every worker count is byte-identical — assignment by
+// assignment, trace event by trace event — to the sequential flat Run,
+// across all placement families.
+func TestFlatShardedMatchesRun(t *testing.T) {
+	for _, c := range flatCases(t) {
+		want, err := RunFlat(c.in, c.p, c.order, FlatOptions{Trace: true})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", c.name, err)
+		}
+		if err := want.Schedule.Verify(c.in, c.p); err != nil {
+			t.Fatalf("%s: sequential flat schedule invalid: %v", c.name, err)
+		}
+		for _, w := range flatWorkerCounts() {
+			got, err := RunFlatSharded(c.in, c.p, c.order, FlatOptions{Trace: true}, w)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: RunSharded: %v", c.name, w, err)
+			}
+			requireSameResult(t, c.name+"/workers="+itoa(w), got, want)
+		}
+	}
+}
+
+// TestFlatShardedMatchesRunWithDuration repeats the differential under
+// a Duration override (the remote-fetch penalty path). The hook is
+// pure, as the concurrency contract requires.
+func TestFlatShardedMatchesRunWithDuration(t *testing.T) {
+	for _, c := range flatCases(t) {
+		in := c.in
+		dur := func(j, i int) float64 {
+			if (j+i)%3 == 0 {
+				return in.Tasks[j].Actual * 2.5
+			}
+			return in.Tasks[j].Actual
+		}
+		want, err := RunFlat(in, c.p, c.order, FlatOptions{Trace: true, Duration: dur})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", c.name, err)
+		}
+		for _, w := range flatWorkerCounts() {
+			got, err := RunFlatSharded(in, c.p, c.order, FlatOptions{Trace: true, Duration: dur}, w)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: RunSharded: %v", c.name, w, err)
+			}
+			requireSameResult(t, c.name+"/workers="+itoa(w), got, want)
+		}
+	}
+}
+
+// TestFlatMatchesEventEngineExact pins the flat engine to the
+// pre-refactor float engine byte-for-byte on integer durations, where
+// tick quantization is exact: same dispatch decisions, same start/end
+// floats, same trace. This is the cross-engine golden equivalence.
+func TestFlatMatchesEventEngineExact(t *testing.T) {
+	shapes := []struct {
+		n, m, k int
+		seed    uint64
+	}{{40, 8, 2, 21}, {55, 10, 5, 22}, {24, 6, 3, 23}}
+	for _, s := range shapes {
+		est := make([]float64, s.n)
+		act := make([]float64, s.n)
+		r := rng.New(s.seed)
+		for j := range act {
+			act[j] = float64(1 + r.Intn(9)) // whole seconds: exact in ticks
+			est[j] = float64(1 + r.Intn(9))
+		}
+		in, err := task.New(s.m, 9, est, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := lptOrder(in)
+		for _, p := range []*placement.Placement{
+			nonePlacement(s.n, s.m, s.seed),
+			groupPlacement(t, s.n, s.m, s.k, s.seed),
+			placement.Everywhere(s.n, s.m),
+		} {
+			d, err := NewListDispatcher(p, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(in, d, Options{Trace: true})
+			if err != nil {
+				t.Fatalf("event engine: %v", err)
+			}
+			for _, w := range flatWorkerCounts() {
+				got, err := RunFlatSharded(in, p, order, FlatOptions{Trace: true}, w)
+				if err != nil {
+					t.Fatalf("flat workers=%d: %v", w, err)
+				}
+				requireSameResult(t, "cross-engine/workers="+itoa(w), got, want)
+			}
+		}
+	}
+}
+
+// TestFlatMatchesEventEngineEpsilon compares the engines on continuous
+// durations, where ticks quantize: dispatch decisions must still agree
+// (the seeds hit no sub-nanotick ties) and every start/end must sit
+// within the accumulated quantization bound of half a tick per task in
+// the machine's chain.
+func TestFlatMatchesEventEngineEpsilon(t *testing.T) {
+	for _, c := range flatCases(t) {
+		d, err := NewListDispatcher(c.p, c.order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(c.in, d, Options{})
+		if err != nil {
+			t.Fatalf("%s: event engine: %v", c.name, err)
+		}
+		got, err := RunFlat(c.in, c.p, c.order, FlatOptions{})
+		if err != nil {
+			t.Fatalf("%s: flat engine: %v", c.name, err)
+		}
+		if err := got.Schedule.Verify(c.in, c.p); err != nil {
+			t.Fatalf("%s: flat schedule fails Verify: %v", c.name, err)
+		}
+		// ≤ 0.5e-9 quantization per task in a chain of at most n tasks,
+		// plus float slack for the reference's own sums.
+		eps := 1e-9 * float64(c.in.N()+1)
+		for j, ga := range got.Schedule.Assignments {
+			wa := want.Schedule.Assignments[j]
+			if ga.Machine != wa.Machine {
+				t.Fatalf("%s: task %d on machine %d, event engine chose %d",
+					c.name, j, ga.Machine, wa.Machine)
+			}
+			if math.Abs(ga.Start-wa.Start) > eps || math.Abs(ga.End-wa.End) > eps {
+				t.Fatalf("%s: task %d times (%v,%v) drift from (%v,%v) beyond %v",
+					c.name, j, ga.Start, ga.End, wa.Start, wa.End, eps)
+			}
+		}
+	}
+}
+
+// crashPlan builds integer-and-half crash times, exactly representable
+// in both float64 and ticks, so both engines resolve every
+// crash-vs-completion boundary identically.
+func crashPlan(p *placement.Placement, seed uint64, count int) []Failure {
+	r := rng.New(seed)
+	fs := make([]Failure, 0, count)
+	for len(fs) < count {
+		fs = append(fs, Failure{
+			Machine: r.Intn(p.M),
+			Time:    float64(r.Intn(20)) * 0.5,
+		})
+	}
+	return fs
+}
+
+// TestFlatFailuresMatchSequential differentially tests the fail-stop
+// port: flat Run with Failures must match RunWithFailures — same
+// surviving schedule or the very same error — and RunSharded must
+// match both at every worker count.
+func TestFlatFailuresMatchSequential(t *testing.T) {
+	shapes := []struct {
+		n, m, k int
+		seed    uint64
+	}{{40, 8, 2, 31}, {60, 12, 3, 32}, {30, 6, 6, 33}}
+	for _, s := range shapes {
+		est := make([]float64, s.n)
+		act := make([]float64, s.n)
+		r := rng.New(s.seed)
+		for j := range act {
+			act[j] = float64(1 + r.Intn(6))
+			est[j] = act[j]
+		}
+		in, err := task.New(s.m, 1, est, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := lptOrder(in)
+		placements := []*placement.Placement{
+			groupPlacement(t, s.n, s.m, s.k, s.seed),
+			placement.Everywhere(s.n, s.m),
+			nonePlacement(s.n, s.m, s.seed), // mostly unsurvivable: error paths
+		}
+		for pi, p := range placements {
+			for round := uint64(0); round < 4; round++ {
+				failures := crashPlan(p, s.seed*101+round, int(round)+1)
+				wantSched, wantErr := RunWithFailures(in, p, order, failures)
+				for _, w := range flatWorkerCounts() {
+					got, err := RunFlatSharded(in, p, order, FlatOptions{Failures: failures}, w)
+					if (err == nil) != (wantErr == nil) {
+						t.Fatalf("p%d round %d workers=%d: err = %v, sequential err = %v",
+							pi, round, w, err, wantErr)
+					}
+					if err != nil {
+						if err.Error() != wantErr.Error() {
+							t.Fatalf("p%d round %d workers=%d: err %q, sequential %q",
+								pi, round, w, err, wantErr)
+						}
+						if errors.Is(wantErr, ErrUnsurvivable) != errors.Is(err, ErrUnsurvivable) {
+							t.Fatalf("p%d round %d workers=%d: ErrUnsurvivable identity diverges", pi, round, w)
+						}
+						continue
+					}
+					if !reflect.DeepEqual(got.Schedule.Assignments, wantSched.Assignments) {
+						t.Fatalf("p%d round %d workers=%d: schedule diverges from RunWithFailures",
+							pi, round, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatFailureBoundaryCrash pins the exact-boundary branch: a crash
+// at precisely a task's completion instant completes the task in both
+// engines instead of losing it.
+func TestFlatFailureBoundaryCrash(t *testing.T) {
+	in := inst(t, 2, 3, 1, 1, 1)
+	p := placement.Everywhere(4, 2)
+	order := identityOrder(4)
+	failures := []Failure{{Machine: 0, Time: 3}}
+	want, err := RunWithFailures(in, p, order, failures)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, w := range flatWorkerCounts() {
+		got, err := RunFlatSharded(in, p, order, FlatOptions{Failures: failures}, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got.Schedule.Assignments, want.Assignments) {
+			t.Errorf("workers=%d: boundary-crash schedule diverges", w)
+		}
+	}
+}
+
+// TestFlatRunnerReuseMatchesFresh carries one FlatRunner dirty across
+// instances of varying shape (the pool_test pattern): reuse must be
+// invisible in the output.
+func TestFlatRunnerReuseMatchesFresh(t *testing.T) {
+	var reused FlatRunner
+	for ci, in := range poolCases(t) {
+		p := groupPlacement(t, in.N(), in.M, 2, uint64(ci)+7)
+		order := lptOrder(in)
+		got, err := reused.RunSharded(in, p, order, FlatOptions{Trace: true}, 2)
+		if err != nil {
+			t.Fatalf("case %d: reused: %v", ci, err)
+		}
+		want, err := RunFlatSharded(in, p, order, FlatOptions{Trace: true}, 2)
+		if err != nil {
+			t.Fatalf("case %d: fresh: %v", ci, err)
+		}
+		requireSameResult(t, "reuse case "+itoa(ci), got, want)
+	}
+}
+
+// TestFlatValidation covers the flat engine's input rejection, with
+// messages matching the event engine where the checks coincide.
+func TestFlatValidation(t *testing.T) {
+	in := inst(t, 2, 1, 2, 3)
+	p := placement.Everywhere(3, 2)
+	check := func(wantSub string, pp *placement.Placement, order []int, opts FlatOptions, run *task.Instance) {
+		t.Helper()
+		if _, err := RunFlat(run, pp, order, opts); err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("want error containing %q, got %v", wantSub, err)
+		}
+	}
+	check("priority order has", p, []int{0, 1}, FlatOptions{}, in)
+	check("not a permutation", p, []int{0, 1, 1}, FlatOptions{}, in)
+	check("not a permutation", p, []int{0, 1, 5}, FlatOptions{}, in)
+	check("does not match instance", placement.Everywhere(2, 2), identityOrder(3), FlatOptions{}, in)
+	check("failures cannot be combined", p, identityOrder(3),
+		FlatOptions{Trace: true, Failures: []Failure{{Machine: 0, Time: 1}}}, in)
+	check("invalid machine", p, identityOrder(3),
+		FlatOptions{Failures: []Failure{{Machine: 9, Time: 1}}}, in)
+	check("negative time", p, identityOrder(3),
+		FlatOptions{Failures: []Failure{{Machine: 0, Time: -1}}}, in)
+
+	bad := inst(t, 2, 1, 2, 3)
+	bad.Tasks[1].Actual = math.NaN() // task.New validates, so corrupt after
+	check("actual time", p, identityOrder(3), FlatOptions{}, bad)
+	neg := inst(t, 2, 1, 2, 3)
+	neg.Tasks[2].Actual = -3
+	check("negative actual", p, identityOrder(3), FlatOptions{}, neg)
+
+	check("duration hook", p, identityOrder(3),
+		FlatOptions{Duration: func(int, int) float64 { return math.NaN() }}, in)
+	check("negative", p, identityOrder(3),
+		FlatOptions{Duration: func(int, int) float64 { return -1 }}, in)
+}
+
+// TestFlatNoTraceByDefault mirrors TestNoTraceByDefault for the flat
+// engine.
+func TestFlatNoTraceByDefault(t *testing.T) {
+	in := inst(t, 2, 1, 2)
+	res, err := RunFlat(in, placement.Everywhere(2, 2), identityOrder(2), FlatOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Errorf("trace has %d events without Trace option", len(res.Trace))
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/task"
+)
+
+// fuzzPlacement derives a placement from fuzz bytes: each task's
+// replica set is a pseudo-random nonempty machine subset, so the
+// partitioner sees arbitrary overlap structure — singletons, chains
+// that merge many groups, full-span sets — not just the tidy group:k
+// shapes the named strategies emit.
+func fuzzPlacement(n, m int, seed uint64) *placement.Placement {
+	r := rng.New(seed)
+	p := placement.New(n, m)
+	set := make([]int, 0, m)
+	for j := 0; j < n; j++ {
+		size := 1 + r.Intn(m)
+		set = set[:0]
+		for len(set) < size {
+			set = append(set, r.Intn(m))
+		}
+		p.AssignSet(j, set) // sorts and dedups
+	}
+	return p
+}
+
+// FuzzGroupPartition fuzzes the shard decomposition invariants:
+//
+//   - exact cover: every machine and every task has exactly one shard
+//     ID, dense in [0, nShards);
+//   - closure: a task's whole replica set lives in the task's shard;
+//   - connectivity soundness: machines sharing any replica set share a
+//     shard, and shard IDs follow first-machine order;
+//   - and the reassembly property — the sharded run's merged schedule
+//     and trace are byte-identical to the sequential flat run, i.e. the
+//     merge is a pure reassembly of per-shard results, permuting
+//     nothing.
+func FuzzGroupPartition(f *testing.F) {
+	f.Add(uint8(12), uint8(4), uint64(1))
+	f.Add(uint8(40), uint8(8), uint64(2))
+	f.Add(uint8(1), uint8(1), uint64(3))
+	f.Add(uint8(30), uint8(12), uint64(0xfeed))
+	f.Add(uint8(7), uint8(9), uint64(42)) // more machines than tasks: idle shards
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint8, seed uint64) {
+		n := 1 + int(nRaw)%48
+		m := 1 + int(mRaw)%12
+		p := fuzzPlacement(n, m, seed)
+
+		machineShard, taskShard, nShards, err := PartitionShards(p)
+		if err != nil {
+			t.Fatalf("PartitionShards: %v", err)
+		}
+		if nShards < 1 || nShards > m {
+			t.Fatalf("nShards = %d with %d machines", nShards, m)
+		}
+		seen := make([]bool, nShards)
+		first := -1
+		for i, s := range machineShard {
+			if s < 0 || s >= nShards {
+				t.Fatalf("machine %d shard %d out of range [0,%d)", i, s, nShards)
+			}
+			if !seen[s] {
+				// First appearance of a shard ID must be in increasing ID
+				// order (deterministic first-machine labeling).
+				if s != first+1 {
+					t.Fatalf("shard IDs not in first-appearance order: saw %d after %d", s, first)
+				}
+				first = s
+				seen[s] = true
+			}
+		}
+		for s, ok := range seen {
+			if !ok {
+				t.Fatalf("shard %d has no machines: IDs not dense", s)
+			}
+		}
+		for j, s := range taskShard {
+			if s < 0 || s >= nShards {
+				t.Fatalf("task %d shard %d out of range [0,%d)", j, s, nShards)
+			}
+			for _, i := range p.Sets[j] {
+				if machineShard[i] != s {
+					t.Fatalf("task %d in shard %d but replica machine %d in shard %d",
+						j, s, i, machineShard[i])
+				}
+			}
+		}
+
+		// Reassembly: sharded == sequential, byte for byte, trace
+		// included. durations derived from the same bytes.
+		r := rng.New(seed ^ 0xd1ff)
+		est := make([]float64, n)
+		act := make([]float64, n)
+		for j := range act {
+			act[j] = r.Uniform(0.1, 10)
+			est[j] = act[j]
+		}
+		in, err := task.New(m, 1, est, act)
+		if err != nil {
+			t.Fatalf("task.New: %v", err)
+		}
+		order := lptOrder(in)
+		want, err := RunFlat(in, p, order, FlatOptions{Trace: true})
+		if err != nil {
+			t.Fatalf("RunFlat: %v", err)
+		}
+		for _, w := range []int{2, 3, 16} {
+			got, err := RunFlatSharded(in, p, order, FlatOptions{Trace: true}, w)
+			if err != nil {
+				t.Fatalf("RunFlatSharded(workers=%d): %v", w, err)
+			}
+			if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+				t.Fatalf("workers=%d: merged schedule not a reassembly of the sequential run", w)
+			}
+			if !reflect.DeepEqual(got.Trace, want.Trace) {
+				t.Fatalf("workers=%d: merged trace diverges", w)
+			}
+		}
+	})
+}

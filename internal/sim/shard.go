@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"repro/internal/placement"
+	"repro/internal/tick"
+)
+
+// mEvent is a machine event (idle or crash) in fixed-point time: the
+// flat engine's replacement for idleEvent. Ordering is (tick, machine)
+// — two int64-comparable fields, no float compares on the hot loop.
+type mEvent struct {
+	t tick.Tick
+	m int32
+}
+
+func mLess(a, b mEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.m < b.m
+}
+
+// mPush inserts ev into the binary min-heap h and returns the heap.
+// Same specialized sift as eventQueue.push; as there, keys are unique
+// (at most one pending event per machine), so pop order is the total
+// (tick, machine) order regardless of heap internals.
+func mPush(h []mEvent, ev mEvent) []mEvent {
+	h = append(h, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !mLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// mPop removes and returns the minimum event.
+func mPop(h []mEvent) ([]mEvent, mEvent) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		next := left
+		if right := left + 1; right < last && mLess(h[right], h[left]) {
+			next = right
+		}
+		if !mLess(h[next], h[i]) {
+			break
+		}
+		h[i], h[next] = h[next], h[i]
+		i = next
+	}
+	return h, top
+}
+
+// partition decomposes the placement into shards: the connected
+// components of machines under the "appears in the same replica set"
+// relation. Tasks on different shards share no machines and no
+// replicas, so their simulations are independent — the structural fact
+// the sharded runner exploits and the differential suite verifies.
+//
+// Shard IDs are assigned in order of each component's lowest machine
+// index, so the decomposition (and everything downstream: trace
+// regions, merge order) is a deterministic function of the placement
+// alone. Within a shard, shardMachines is ascending.
+func (r *FlatRunner) partition(p *placement.Placement) {
+	n, m := p.N(), p.M
+	r.parent = growI32(r.parent, m)
+	for i := range r.parent {
+		r.parent[i] = int32(i)
+	}
+	for j := 0; j < n; j++ {
+		set := p.Sets[j]
+		root := r.find(int32(set[0]))
+		for _, i := range set[1:] {
+			if ri := r.find(int32(i)); ri != root {
+				r.parent[ri] = root
+			}
+		}
+	}
+
+	// Label components by first machine appearance: pass 1 labels the
+	// roots, pass 2 propagates the root's label to every member (a
+	// member's slot is only ever written once, and a root's slot only
+	// with its own label, so reads and writes cannot collide).
+	r.shardOf = growI32(r.shardOf, m)
+	for i := range r.shardOf {
+		r.shardOf[i] = -1
+	}
+	ns := int32(0)
+	for i := 0; i < m; i++ {
+		if root := r.find(int32(i)); r.shardOf[root] < 0 {
+			r.shardOf[root] = ns
+			ns++
+		}
+	}
+	for i := 0; i < m; i++ {
+		r.shardOf[i] = r.shardOf[r.find(int32(i))]
+	}
+	r.nShards = int(ns)
+
+	// CSR of shard members. parent has served its purpose, so its
+	// prefix is recycled as the per-shard fill cursor.
+	r.shardOff = growI32Zero(r.shardOff, r.nShards+1)
+	for i := 0; i < m; i++ {
+		r.shardOff[r.shardOf[i]+1]++
+	}
+	for s := 0; s < r.nShards; s++ {
+		r.shardOff[s+1] += r.shardOff[s]
+	}
+	cur := r.parent[:r.nShards]
+	clear(cur)
+	r.shardMachines = growI32(r.shardMachines, m)
+	for i := 0; i < m; i++ {
+		s := r.shardOf[i]
+		r.shardMachines[r.shardOff[s]+cur[s]] = int32(i)
+		cur[s]++
+	}
+
+	r.taskShard = growI32(r.taskShard, n)
+	for j := 0; j < n; j++ {
+		r.taskShard[j] = r.shardOf[p.Sets[j][0]]
+	}
+}
+
+// find is union-find root lookup with path compression over parent.
+func (r *FlatRunner) find(x int32) int32 {
+	root := x
+	for r.parent[root] != root {
+		root = r.parent[root]
+	}
+	for r.parent[x] != root {
+		r.parent[x], x = root, r.parent[x]
+	}
+	return root
+}
+
+// partitionTrivial is the degenerate one-shard decomposition Run uses:
+// a single global event loop over all machines, the sequential
+// reference RunSharded is differentially tested against.
+func (r *FlatRunner) partitionTrivial(n, m int) {
+	r.nShards = 1
+	r.shardOf = growI32Zero(r.shardOf, m)
+	r.shardMachines = growI32(r.shardMachines, m)
+	for i := range r.shardMachines {
+		r.shardMachines[i] = int32(i)
+	}
+	r.shardOff = growI32(r.shardOff, 2)
+	r.shardOff[0], r.shardOff[1] = 0, int32(m)
+	r.taskShard = growI32Zero(r.taskShard, n)
+}
+
+// PartitionShards exposes the shard decomposition for property tests
+// and tooling: machineShard[i] and taskShard[j] are shard IDs, and
+// nShards is the shard count. IDs are dense, assigned in order of each
+// shard's lowest machine index. Every machine and every task belongs
+// to exactly one shard, and a task's shard contains its whole replica
+// set — the exact-cover property FuzzGroupPartition pins.
+func PartitionShards(p *placement.Placement) (machineShard, taskShard []int, nShards int, err error) {
+	if err := placement.CheckSets(p.Sets, p.M); err != nil {
+		return nil, nil, 0, err
+	}
+	var r FlatRunner
+	r.partition(p)
+	machineShard = make([]int, p.M)
+	for i, s := range r.shardOf {
+		machineShard[i] = int(s)
+	}
+	taskShard = make([]int, p.N())
+	for j, s := range r.taskShard {
+		taskShard[j] = int(s)
+	}
+	return machineShard, taskShard, r.nShards, nil
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/tick"
+)
+
+// flatScratch is one worker's private event-loop state. Each worker
+// owns one, so shards running concurrently never share a heap.
+type flatScratch struct {
+	heap    []mEvent
+	retry   []int32
+	crashes []mEvent
+}
+
+// runSpan executes shard s to completion, writing only task-, machine-
+// and shard-indexed state no other shard touches. Three paths:
+//
+//   - replayLinear: a one-machine shard with no crashes has no
+//     contention at all — its tasks are, provably, exactly its queue in
+//     priority order, so execution is a linear replay with a running
+//     tick sum and no heap (the none-placement fast path);
+//   - runSpanHeap: the general event loop over the shard's machines;
+//   - runSpanFailures: the fail-stop port of RunWithFailures, used only
+//     for shards that actually contain crashes.
+func (r *FlatRunner) runSpan(in *task.Instance, p *placement.Placement, s int,
+	sc *flatScratch, opts *FlatOptions) {
+	ms := r.shardMachines[r.shardOff[s]:r.shardOff[s+1]]
+	if len(r.crashes) > 0 {
+		sc.crashes = sc.crashes[:0]
+		for _, c := range r.crashes {
+			if int(r.shardOf[c.m]) == s {
+				sc.crashes = append(sc.crashes, c)
+			}
+		}
+		if len(sc.crashes) > 0 {
+			r.runSpanFailures(p, s, ms, sc)
+			return
+		}
+		// No crashes reach this shard: fail-stop semantics reduce to
+		// plain list scheduling, and every started task completes.
+	}
+	if len(ms) == 1 {
+		r.replayLinear(s, ms[0], opts)
+		return
+	}
+	r.runSpanHeap(s, ms, sc, opts)
+}
+
+// replayLinear executes a one-machine shard without a heap. The
+// machine's CSR queue holds its eligible tasks in priority order; a
+// singleton shard means every one of those tasks is placed only here
+// (any second replica would have merged that machine into a larger
+// component), so each is unstarted when scanned and the whole run is
+// one pass accumulating a tick clock.
+func (r *FlatRunner) replayLinear(s int, mach int32, opts *FlatOptions) {
+	q := r.qTasks[r.qOff[mach]:r.qOff[mach+1]]
+	var trace []Event
+	tr := 0
+	if opts.Trace {
+		trace = r.res.Trace[2*r.shardTaskOff[s]:]
+	}
+	now := tick.Tick(0)
+	mi := int(mach)
+	for k, j := range q {
+		var d tick.Tick
+		if opts.Duration == nil {
+			d = r.durTick[j]
+		} else {
+			var ok bool
+			if d, ok = r.hookTick(s, int(j), mi, mEvent{t: now, m: mach}, opts); !ok {
+				r.shardStarted[s] = int32(k)
+				return
+			}
+		}
+		end := tick.SatAdd(now, d)
+		r.sched.Assignments[j] = sched.Assignment{
+			Task: int(j), Machine: mi, Start: now.Seconds(), End: end.Seconds(),
+		}
+		if opts.Trace {
+			trace[tr] = Event{Time: now.Seconds(), Machine: mi, Task: int(j), Kind: "start"}
+			trace[tr+1] = Event{Time: end.Seconds(), Machine: mi, Task: int(j), Kind: "finish"}
+			tr += 2
+		}
+		now = end
+	}
+	r.shardStarted[s] = int32(len(q))
+}
+
+// runSpanHeap is the general shard event loop: pop the earliest idle
+// machine, hand it the highest-priority unstarted task from its queue,
+// push its completion back. Identical decisions to Runner.Run with a
+// ListDispatcher — same (time, machine) pop order, same started-skip
+// queue scan — just over ticks and flat state.
+func (r *FlatRunner) runSpanHeap(s int, ms []int32, sc *flatScratch, opts *FlatOptions) {
+	h := sc.heap[:0]
+	for _, i := range ms {
+		h = append(h, mEvent{t: 0, m: i}) // ascending machines at t=0: already a valid heap
+	}
+	var trace []Event
+	tr := 0
+	if opts.Trace {
+		trace = r.res.Trace[2*r.shardTaskOff[s]:]
+	}
+	started := int32(0)
+	for len(h) > 0 {
+		var ev mEvent
+		h, ev = mPop(h)
+		i := ev.m
+		q := r.qTasks[r.qOff[i]:r.qOff[i+1]]
+		j := int32(-1)
+		for int(r.head[i]) < len(q) {
+			cand := q[r.head[i]]
+			r.head[i]++
+			if !r.started[cand] {
+				j = cand
+				break
+			}
+		}
+		if j < 0 {
+			continue // queue exhausted: the machine retires
+		}
+		r.started[j] = true
+		started++
+		var d tick.Tick
+		if opts.Duration == nil {
+			d = r.durTick[j]
+		} else {
+			var ok bool
+			if d, ok = r.hookTick(s, int(j), int(i), ev, opts); !ok {
+				break
+			}
+		}
+		end := tick.SatAdd(ev.t, d)
+		r.sched.Assignments[j] = sched.Assignment{
+			Task: int(j), Machine: int(i), Start: ev.t.Seconds(), End: end.Seconds(),
+		}
+		if opts.Trace {
+			trace[tr] = Event{Time: ev.t.Seconds(), Machine: int(i), Task: int(j), Kind: "start"}
+			trace[tr+1] = Event{Time: end.Seconds(), Machine: int(i), Task: int(j), Kind: "finish"}
+			tr += 2
+		}
+		h = mPush(h, mEvent{t: end, m: i})
+	}
+	r.shardStarted[s] = started
+	sc.heap = h[:0]
+}
+
+// hookTick converts a Duration-hook value to ticks, recording a
+// shard error keyed at the current event on failure. The float engine
+// trusts the hook's contract (deterministic, non-negative, finite);
+// fixed-point time has to enforce it, because a negative or non-finite
+// duration has no tick representation.
+func (r *FlatRunner) hookTick(s, j, machine int, ev mEvent, opts *FlatOptions) (tick.Tick, bool) {
+	sec := opts.Duration(j, machine)
+	d, err := tick.FromSeconds(sec)
+	if err != nil {
+		r.shardErrs[s] = spanError{key: ev, err: fmt.Errorf(
+			"sim: duration hook for task %d on machine %d: %w", j, machine, err)}
+		return 0, false
+	}
+	if d < 0 {
+		r.shardErrs[s] = spanError{key: ev, err: fmt.Errorf(
+			"sim: duration hook returned negative %v for task %d on machine %d", sec, j, machine)}
+		return 0, false
+	}
+	return d, true
+}
+
+// runSpanFailures is the shard-local port of RunWithFailures: same
+// retry-ahead-of-queue dispatch, dormant tracking, crash-before-
+// equal-time-events interleaving, and strand checks — restricted to
+// the shard's machines, tasks, and crashes. The restriction is
+// equivalence-preserving: a crash can only strand or free tasks whose
+// replicas live in the crashing machine's shard, and waking another
+// shard's dormant machine is output-neutral (it finds no work and goes
+// dormant again). Trace and Duration are rejected in prepare, so this
+// path never consults them.
+func (r *FlatRunner) runSpanFailures(p *placement.Placement, s int, ms []int32, sc *flatScratch) {
+	h := sc.heap[:0]
+	for _, i := range ms {
+		h = append(h, mEvent{t: 0, m: i})
+	}
+	retry := sc.retry[:0]
+	crashes := sc.crashes
+	tasks := r.shardTasks[r.shardTaskOff[s]:r.shardTaskOff[s+1]]
+	completedCount := int32(0)
+	defer func() {
+		sc.heap = h[:0]
+		sc.retry = retry[:0]
+		// In failure mode the per-shard tally is completions, matching
+		// the sequential engine's never-completed accounting.
+		r.shardStarted[s] = completedCount
+	}()
+
+	for len(h) > 0 || len(crashes) > 0 {
+		if len(crashes) > 0 && (len(h) == 0 || crashes[0].t <= h[0].t) {
+			c := crashes[0]
+			crashes = crashes[1:]
+			if r.dead[c.m] {
+				continue
+			}
+			r.dead[c.m] = true
+			if j := r.runTask[c.m]; j >= 0 {
+				switch {
+				case r.runEnd[c.m] <= c.t:
+					// Finished exactly at (or before) the crash; its idle
+					// event will be skipped on the dead machine.
+					r.completed[j] = true
+					completedCount++
+					r.runTask[c.m] = -1
+				case !r.completed[j]:
+					// In-flight work is lost: erase and re-offer.
+					r.sched.Assignments[j] = sched.Assignment{}
+					r.runTask[c.m] = -1
+					if !survivable(p, int(j), r.dead) {
+						r.shardErrs[s] = spanError{key: c, err: fmt.Errorf(
+							"%w: task %d only on machine %d", ErrUnsurvivable, j, c.m)}
+						return
+					}
+					retry = append(retry, j)
+					for _, i := range ms {
+						if r.dormant[i] && !r.dead[i] {
+							r.dormant[i] = false
+							t := c.t
+							if r.dormantAt[i] > t {
+								t = r.dormantAt[i]
+							}
+							h = mPush(h, mEvent{t: t, m: i})
+						}
+					}
+				}
+			}
+			// A pending task whose every replica is dead is stranded.
+			for _, j := range tasks {
+				if !r.completed[j] && !survivable(p, int(j), r.dead) && !r.shardRunningAlive(ms, j) {
+					r.shardErrs[s] = spanError{key: c, err: fmt.Errorf("%w: task %d", ErrUnsurvivable, j)}
+					return
+				}
+			}
+			continue
+		}
+		var ev mEvent
+		h, ev = mPop(h)
+		i := ev.m
+		if r.dead[i] {
+			continue
+		}
+		if j := r.runTask[i]; j >= 0 && r.runEnd[i] <= ev.t {
+			r.completed[j] = true
+			completedCount++
+			r.runTask[i] = -1
+		}
+		// Dispatch: lost tasks first (highest priority among those
+		// eligible here), then the regular queue.
+		j := int32(-1)
+		bestIdx := -1
+		for idx, cand := range retry {
+			if (bestIdx < 0 || r.priorityOf[cand] < r.priorityOf[retry[bestIdx]]) &&
+				machineEligible(p, int(cand), int(i)) {
+				bestIdx = idx
+			}
+		}
+		if bestIdx >= 0 {
+			j = retry[bestIdx]
+			retry[bestIdx] = retry[len(retry)-1]
+			retry = retry[:len(retry)-1]
+		} else {
+			q := r.qTasks[r.qOff[i]:r.qOff[i+1]]
+			for int(r.head[i]) < len(q) {
+				cand := q[r.head[i]]
+				r.head[i]++
+				if !r.started[cand] {
+					j = cand
+					r.started[cand] = true
+					break
+				}
+			}
+		}
+		if j < 0 {
+			r.dormant[i] = true
+			r.dormantAt[i] = ev.t
+			continue
+		}
+		end := tick.SatAdd(ev.t, r.durTick[j])
+		r.runTask[i] = j
+		r.runEnd[i] = end
+		r.sched.Assignments[j] = sched.Assignment{
+			Task: int(j), Machine: int(i), Start: ev.t.Seconds(), End: end.Seconds(),
+		}
+		h = mPush(h, mEvent{t: end, m: i})
+	}
+}
+
+// shardRunningAlive reports whether task j is in flight on an alive
+// machine of the shard.
+func (r *FlatRunner) shardRunningAlive(ms []int32, j int32) bool {
+	for _, i := range ms {
+		if r.runTask[i] == j && !r.dead[i] {
+			return true
+		}
+	}
+	return false
+}

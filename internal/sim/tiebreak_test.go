@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/tick"
+)
+
+// TestEventQueueTiedPopOrder is the satellite-4 audit regression for
+// the float event queue: events pushed in adversarial order — many
+// exact time ties across machines — must pop in the total
+// (time, machine) order. Per-machine keys are unique in real runs (one
+// pending event per machine), so this total order is the full
+// determinism claim; a sift change that broke tie handling would
+// reorder the equal-time block and fail here.
+func TestEventQueueTiedPopOrder(t *testing.T) {
+	r := rng.New(99)
+	var events []idleEvent
+	for machine := 0; machine < 16; machine++ {
+		events = append(events, idleEvent{time: float64(r.Intn(4)), machine: machine})
+	}
+	// Shuffle the push order with a seeded permutation.
+	for i := len(events) - 1; i > 0; i-- {
+		k := r.Intn(i + 1)
+		events[i], events[k] = events[k], events[i]
+	}
+	var q eventQueue
+	for _, ev := range events {
+		q.push(ev)
+	}
+	want := append([]idleEvent(nil), events...)
+	sort.Slice(want, func(a, b int) bool { return eventLess(want[a], want[b]) })
+	for i, w := range want {
+		if got := q.pop(); got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestTickHeapTiedPopOrder is the same audit for the flat engine's
+// mEvent heap: ticks tie exactly (int64 equality, no float fuzz), and
+// the machine index must fully resolve the order.
+func TestTickHeapTiedPopOrder(t *testing.T) {
+	r := rng.New(77)
+	var events []mEvent
+	for machine := int32(0); machine < 24; machine++ {
+		events = append(events, mEvent{t: tick.Tick(r.Intn(3)) * tick.PerSecond, m: machine})
+	}
+	for i := len(events) - 1; i > 0; i-- {
+		k := r.Intn(i + 1)
+		events[i], events[k] = events[k], events[i]
+	}
+	var h []mEvent
+	for _, ev := range events {
+		h = mPush(h, ev)
+	}
+	want := append([]mEvent(nil), events...)
+	sort.Slice(want, func(a, b int) bool { return mLess(want[a], want[b]) })
+	for i, w := range want {
+		var got mEvent
+		h, got = mPop(h)
+		if got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// TestFailureCrashOrderIndependentOfInput pins the crashQ tie-break
+// fix: two same-instant crashes handed to RunWithFailures in either
+// caller order must yield the same outcome — previously a Time-only
+// sort let the caller's slice order leak into which machine died
+// first, and with it which ErrUnsurvivable a doomed run reported.
+func TestFailureCrashOrderIndependentOfInput(t *testing.T) {
+	in := inst(t, 4, 5, 5, 5, 5, 1, 1)
+	p := placement.New(6, 4)
+	p.AssignSet(0, []int{0, 1})
+	p.AssignSet(1, []int{0, 1})
+	p.AssignSet(2, []int{2, 3})
+	p.AssignSet(3, []int{2, 3})
+	p.AssignSet(4, []int{0, 1})
+	p.AssignSet(5, []int{2, 3})
+	order := identityOrder(6)
+
+	// Both group {0,1} and group {2,3} fully die at t=2: doomed either
+	// way, and the reported task/machine must not depend on input order.
+	fwd := []Failure{{Machine: 0, Time: 2}, {Machine: 1, Time: 2}, {Machine: 2, Time: 2}, {Machine: 3, Time: 2}}
+	rev := []Failure{{Machine: 3, Time: 2}, {Machine: 2, Time: 2}, {Machine: 1, Time: 2}, {Machine: 0, Time: 2}}
+	_, errFwd := RunWithFailures(in, p, order, fwd)
+	_, errRev := RunWithFailures(in, p, order, rev)
+	if errFwd == nil || errRev == nil {
+		t.Fatalf("expected unsurvivable errors, got %v / %v", errFwd, errRev)
+	}
+	if errFwd.Error() != errRev.Error() {
+		t.Fatalf("crash input order leaked into result: %q vs %q", errFwd, errRev)
+	}
+
+	// Survivable same-instant ties: schedules must match exactly too,
+	// in the sequential engine and the flat engine at several worker
+	// counts.
+	sfwd := []Failure{{Machine: 1, Time: 2}, {Machine: 3, Time: 2}}
+	srev := []Failure{{Machine: 3, Time: 2}, {Machine: 1, Time: 2}}
+	wantSched, err := RunWithFailures(in, p, order, sfwd)
+	if err != nil {
+		t.Fatalf("survivable fwd: %v", err)
+	}
+	gotSched, err := RunWithFailures(in, p, order, srev)
+	if err != nil {
+		t.Fatalf("survivable rev: %v", err)
+	}
+	if !reflect.DeepEqual(gotSched.Assignments, wantSched.Assignments) {
+		t.Fatal("sequential schedule depends on crash input order")
+	}
+	for _, w := range []int{1, 2, 8} {
+		for _, fs := range [][]Failure{sfwd, srev} {
+			res, err := RunFlatSharded(in, p, order, FlatOptions{Failures: fs}, w)
+			if err != nil {
+				t.Fatalf("flat workers=%d: %v", w, err)
+			}
+			if !reflect.DeepEqual(res.Schedule.Assignments, wantSched.Assignments) {
+				t.Fatalf("flat workers=%d: schedule depends on crash input order", w)
+			}
+		}
+	}
+}
