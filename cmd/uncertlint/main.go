@@ -6,19 +6,30 @@
 //
 //	go run ./cmd/uncertlint ./...
 //	go run ./cmd/uncertlint -rules determinism,seed ./internal/sim
+//	go run ./cmd/uncertlint -json -budget 2m ./...
 //
 // Patterns are directories relative to the working directory; a
 // trailing /... recurses. See LINTING.md for the rules and the
 // //lint:ignore suppression syntax.
+//
+// -json emits one JSON object per diagnostic — including the
+// suppressed ones, marked "suppressed": true, so CI artifacts record
+// what the tree is silencing, not just what it is failing on. The
+// exit code still reflects only unsuppressed findings. -budget fails
+// the run when analysis wall-clock exceeds the given duration,
+// keeping `make lint` latency an enforced property rather than a
+// hope.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -32,6 +43,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rule names to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic, suppressed ones included")
+	budget := fs.Duration("budget", 0, "fail if analysis wall-clock exceeds this duration (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,22 +98,60 @@ func run(args []string, stdout, stderr *os.File) int {
 		patterns[i] = path.Join(filepath.ToSlash(rel), filepath.ToSlash(p))
 	}
 
+	start := time.Now()
 	pkgs, fset, err := lint.Load(lint.Config{Dir: root, ModulePath: modPath}, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "uncertlint:", err)
 		return 2
 	}
-	diags := lint.Run(pkgs, fset, analyzers)
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(cwd, rel); err == nil && !strings.HasPrefix(r, "..") {
-			rel = r
+	kept, suppressed := lint.RunAll(pkgs, fset, analyzers)
+	elapsed := time.Since(start)
+
+	relTo := func(file string) string {
+		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
+			return r
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		return file
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "uncertlint: %d diagnostic(s)\n", len(diags))
-		return 1
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		emit := func(ds []lint.Diagnostic, sup bool) {
+			for _, d := range ds {
+				_ = enc.Encode(jsonDiag{
+					Rule: d.Rule, File: relTo(d.Pos.Filename), Line: d.Pos.Line,
+					Col: d.Pos.Column, Message: d.Message, Suppressed: sup,
+				})
+			}
+		}
+		emit(kept, false)
+		emit(suppressed, true)
+	} else {
+		for _, d := range kept {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", relTo(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+		}
 	}
-	return 0
+
+	code := 0
+	if len(kept) > 0 {
+		fmt.Fprintf(stderr, "uncertlint: %d diagnostic(s)\n", len(kept))
+		code = 1
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "uncertlint: analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		code = 1
+	}
+	return code
+}
+
+// jsonDiag is the -json line format: one object per diagnostic, with
+// suppressed findings included and marked, so artifacts record what
+// the tree silences as well as what it fails on.
+type jsonDiag struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }

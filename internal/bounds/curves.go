@@ -51,7 +51,7 @@ func RatioReplication(m int, alpha float64) []Series {
 			Y: LSGroup(m, k, alpha),
 		})
 	}
-	sort.Slice(group.Points, func(a, b int) bool { return group.Points[a].X < group.Points[b].X })
+	sort.SliceStable(group.Points, func(a, b int) bool { return group.Points[a].X < group.Points[b].X })
 	return []Series{
 		group,
 		{Name: "LPT-NoChoice", Points: []Point{{X: 1, Y: LPTNoChoice(m, alpha)}}},
@@ -103,7 +103,7 @@ func MemoryMakespan(m int, alpha2, rho1, rho2 float64, deltas []float64) []Serie
 		impossible.Points = append(impossible.Points, Point{X: 1 + d, Y: 1 + 1/d})
 	}
 	for _, s := range []*Series{&sabo, &abo, &impossible} {
-		sort.Slice(s.Points, func(a, b int) bool { return s.Points[a].X < s.Points[b].X })
+		sort.SliceStable(s.Points, func(a, b int) bool { return s.Points[a].X < s.Points[b].X })
 	}
 	return []Series{sabo, abo, impossible}
 }

@@ -17,13 +17,25 @@ import (
 // //lint:ignore directive and no want.
 func runFixture(t *testing.T, pkg string, rules ...string) {
 	t.Helper()
-	pkgs, fset, err := Load(Config{Dir: filepath.Join("testdata", "src")}, pkg)
+	runFixtureMulti(t, []string{pkg}, rules...)
+}
+
+// runFixtureMulti loads several fixture packages as one program.
+// Cross-package diagnostics (a leaked acquirer, a hot-path callee in a
+// dependency) land in whichever package owns the offending line, so
+// wants are parsed from every loaded package's directory.
+func runFixtureMulti(t *testing.T, pkgPaths []string, rules ...string) {
+	t.Helper()
+	pkgs, fset, err := Load(Config{Dir: filepath.Join("testdata", "src")}, pkgPaths...)
 	if err != nil {
-		t.Fatalf("load fixture %s: %v", pkg, err)
+		t.Fatalf("load fixtures %v: %v", pkgPaths, err)
 	}
 	diags := Run(pkgs, fset, selectAnalyzers(t, rules))
 
-	wants := parseWants(t, pkgs[0].Dir)
+	var wants []*want
+	for _, pkg := range pkgs {
+		wants = append(wants, parseWants(t, pkg.Dir)...)
+	}
 	for _, d := range diags {
 		got := d.Rule + ": " + d.Message
 		claimed := false
@@ -158,6 +170,29 @@ func TestResetFixture(t *testing.T) {
 
 func TestTickConvFixture(t *testing.T) {
 	runFixture(t, "tickconv", "tickconv")
+}
+
+func TestPoolPairFixture(t *testing.T) {
+	runFixtureMulti(t, []string{"poolpair", "poolpairdep"}, "poolpair")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixtureMulti(t, []string{"floatcmp", "floatcmpdep"}, "floatcmp")
+}
+
+func TestLockSafeFixture(t *testing.T) {
+	runFixtureMulti(t, []string{"locksafe", "locksafedep"}, "locksafe")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	runFixtureMulti(t, []string{"hotalloc", "hotallocdep"}, "hotalloc")
+}
+
+// TestUnusedDirectiveFixture exercises the stale-suppression check: a
+// //lint:ignore that suppresses nothing is itself reported, but only
+// when every rule it names was part of the run.
+func TestUnusedDirectiveFixture(t *testing.T) {
+	runFixture(t, "unuseddir", "errdrop")
 }
 
 // TestDirectiveValidation pins the malformed-directive diagnostics

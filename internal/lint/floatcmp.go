@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// floatcmp targets the bug class fixed twice in this repo already
+// (the Karmarkar-Karp ldmHeap and the crash-queue sort): comparisons
+// on floating-point values that make output depend on accumulated
+// rounding or on sort instability.
+//
+// Two checks:
+//
+//  1. == and != on floating operands. The sanctioned tie-break-guard
+//     idiom is exempt: when the enclosing function also contains an
+//     ordering comparison (< <= > >=) of the same two operands (either
+//     order), the equality is a guard around a deterministic ordering,
+//     not a correctness decision. Comparisons against constants
+//     (sentinels like 0) and self-comparisons (the x != x NaN probe)
+//     are also exempt.
+//
+//  2. comparator functions whose result is decided entirely by float
+//     ordering with no tie-break: a func-literal argument to
+//     sort.Slice, or a declared Less-style method (named Less, less,
+//     or *Less, returning bool), where every return statement is
+//     exactly a float ordering expression. sort.SliceStable is exempt
+//     (ties keep input order, which is deterministic); any return that
+//     is not a bare float ordering — an integer comparison, a
+//     delegation call, a boolean combination — counts as a tie-break
+//     and silences the check.
+func newFloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flags float ==/!= without a tie-break guard and float-keyed comparators with no deterministic tie-break",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFloatEquality(p, fd)
+			if isLessStyle(fd) && floatOnlyComparator(info, fd.Body) {
+				p.Reportf(fd.Pos(), "comparator %s orders by floats with no deterministic tie-break; compare an integer key when equal", fd.Name.Name)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(info, call)
+				if callee == nil || funcPkgPath(callee) != "sort" || callee.Name() != "Slice" {
+					return true
+				}
+				if len(call.Args) != 2 {
+					return true
+				}
+				lit, ok := ast.Unparen(call.Args[1]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if floatOnlyComparator(info, lit.Body) {
+					p.Reportf(call.Pos(), "sort.Slice comparator orders by floats with no deterministic tie-break; add one or use sort.SliceStable")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFloatEquality flags ==/!= on float operands inside fd, except
+// tie-break guards and constant comparisons.
+func checkFloatEquality(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	// Collect the operand pairs of every ordering comparison in the
+	// function (all nesting levels — guards and their orderings often
+	// sit in different closures of the same function).
+	ordered := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			ordered[pairKey(be.X, be.Y)] = true
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(info, be.X) && !isFloat(info, be.Y) {
+			return true
+		}
+		if isConstExpr(info, be.X) || isConstExpr(info, be.Y) {
+			return true
+		}
+		// x == x / x != x is the stdlib-free NaN probe, not a rounding
+		// hazard.
+		if types.ExprString(ast.Unparen(be.X)) == types.ExprString(ast.Unparen(be.Y)) {
+			return true
+		}
+		if ordered[pairKey(be.X, be.Y)] {
+			return true
+		}
+		p.Reportf(be.OpPos, "floating-point %s comparison; floats differ by rounding — use an ordering with tie-break, an epsilon, or integer ticks", be.Op)
+		return true
+	})
+}
+
+// pairKey is an order-insensitive key for an operand pair.
+func pairKey(x, y ast.Expr) string {
+	a, b := types.ExprString(ast.Unparen(x)), types.ExprString(ast.Unparen(y))
+	if b < a {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	return info.Types[e].Value != nil
+}
+
+// isLessStyle reports whether fd looks like a sort comparator: named
+// Less, less, or ending in Less, with a single bool result.
+func isLessStyle(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if name != "Less" && name != "less" && !strings.HasSuffix(name, "Less") {
+		return false
+	}
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 {
+		return false
+	}
+	id, ok := res.List[0].Type.(*ast.Ident)
+	return ok && id.Name == "bool"
+}
+
+// floatOnlyComparator reports whether every return in body is exactly
+// a float ordering comparison — i.e. equal keys leave the result to
+// the sort's whim. Any other return shape (integer ordering, call,
+// boolean combination, named-result fallthrough) counts as a
+// tie-break. Nested function literals are not descended into.
+func floatOnlyComparator(info *types.Info, body *ast.BlockStmt) bool {
+	sawReturn := false
+	verdict := true
+	inspectShallow(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return verdict
+		}
+		if len(ret.Results) != 1 {
+			verdict = false
+			return false
+		}
+		sawReturn = true
+		be, ok := ast.Unparen(ret.Results[0]).(*ast.BinaryExpr)
+		if !ok {
+			verdict = false
+			return false
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			if !isFloat(info, be.X) && !isFloat(info, be.Y) {
+				verdict = false
+			}
+		default:
+			verdict = false
+		}
+		return verdict
+	})
+	return sawReturn && verdict
+}

@@ -52,6 +52,11 @@ type Analyzer struct {
 type Pass struct {
 	Fset *token.FileSet
 	Pkg  *Package
+	// Prog is the shared whole-run view: call graph, CFGs, and
+	// interprocedural summaries over the roots and their transitive
+	// repo-local dependencies. Analyzers still report only on
+	// declarations in Pkg; Prog supplies the cross-package facts.
+	Prog *Program
 
 	rule  string
 	diags *[]Diagnostic
@@ -79,6 +84,10 @@ func NewAnalyzers() []*Analyzer {
 		newObsNames(),
 		newReset(),
 		newTickConv(),
+		newPoolPair(),
+		newFloatCmp(),
+		newLockSafe(),
+		newHotAlloc(),
 	}
 }
 
@@ -86,6 +95,15 @@ func NewAnalyzers() []*Analyzer {
 // //lint:ignore suppressions, validates the directives themselves,
 // and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
+	kept, _ := RunAll(pkgs, fset, analyzers)
+	return kept
+}
+
+// RunAll is Run, additionally returning the diagnostics that
+// //lint:ignore directives suppressed (for the -json output mode,
+// which reports suppression state per finding). Both slices are
+// sorted by position.
+func RunAll(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) (kept, suppressed []Diagnostic) {
 	// A directive may legitimately name any rule of the suite, not
 	// just the ones selected for this run: running -rules determinism
 	// must not report the tree's obsnames suppressions as unknown.
@@ -93,24 +111,64 @@ func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnost
 	for _, a := range NewAnalyzers() {
 		known[a.Name] = true
 	}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
+	prog := newProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Fset: fset, Pkg: pkg, rule: a.Name, diags: &diags})
+			a.Run(&Pass{Fset: fset, Pkg: pkg, Prog: prog, rule: a.Name, diags: &diags})
 		}
 	}
+	if ran["hotalloc"] && len(prog.hotClosure()) == 0 {
+		// No //perf:hotpath seed among the loaded roots: hotalloc had
+		// nothing to suppress, so a package-subset run must not call the
+		// full tree's hotalloc suppressions stale.
+		ran["hotalloc"] = false
+	}
 	sup, dirDiags := collectDirectives(pkgs, fset, known)
-	kept := dirDiags
+	kept = dirDiags
 	for _, d := range diags {
-		if !sup.matches(d) {
+		if sup.matches(d) {
+			suppressed = append(suppressed, d)
+		} else {
 			kept = append(kept, d)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool {
-		a, b := kept[i], kept[j]
+	// A directive that suppressed nothing is itself a finding: stale
+	// suppressions hide nothing today and mask real findings tomorrow.
+	// Only judged when every rule the directive names actually ran —
+	// a -rules subset run must not call the others' directives unused.
+	for _, dir := range sup.directives {
+		if dir.used {
+			continue
+		}
+		allRan := true
+		for _, r := range dir.rules {
+			if !ran[r] {
+				allRan = false
+			}
+		}
+		if !allRan {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Pos:     dir.pos,
+			Rule:    directiveRule,
+			Message: fmt.Sprintf("unused //lint:ignore %s: no diagnostic suppressed on this or the next line", strings.Join(dir.rules, ",")),
+		})
+	}
+	sortDiags(kept)
+	sortDiags(suppressed)
+	return kept, suppressed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -122,28 +180,43 @@ func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Rule < b.Rule
 	})
-	return kept
 }
 
-// suppressions maps file -> line -> set of suppressed rules.
-type suppressions map[string]map[int]map[string]bool
+// directiveRecord is one well-formed //lint:ignore comment, tracked so
+// directives that suppress nothing can be reported.
+type directiveRecord struct {
+	pos   token.Position
+	rules []string
+	used  bool
+}
 
-func (s suppressions) add(file string, line int, rule string) {
-	byLine, ok := s[file]
+// suppressions maps file -> line -> rule -> the directives covering
+// that (line, rule). Matching marks the covering directives used.
+type suppressions struct {
+	byPos      map[string]map[int]map[string][]*directiveRecord
+	directives []*directiveRecord
+}
+
+func (s *suppressions) add(file string, line int, rule string, dir *directiveRecord) {
+	byLine, ok := s.byPos[file]
 	if !ok {
-		byLine = map[int]map[string]bool{}
-		s[file] = byLine
+		byLine = map[int]map[string][]*directiveRecord{}
+		s.byPos[file] = byLine
 	}
 	rules, ok := byLine[line]
 	if !ok {
-		rules = map[string]bool{}
+		rules = map[string][]*directiveRecord{}
 		byLine[line] = rules
 	}
-	rules[rule] = true
+	rules[rule] = append(rules[rule], dir)
 }
 
-func (s suppressions) matches(d Diagnostic) bool {
-	return s[d.Pos.Filename][d.Pos.Line][d.Rule]
+func (s *suppressions) matches(d Diagnostic) bool {
+	dirs := s.byPos[d.Pos.Filename][d.Pos.Line][d.Rule]
+	for _, dir := range dirs {
+		dir.used = true
+	}
+	return len(dirs) > 0
 }
 
 // directiveRule names the pseudo-rule under which malformed
@@ -155,8 +228,8 @@ const directiveRule = "directive"
 // directive suppresses its rules on the directive's own line and the
 // next line; a malformed one (missing reason, unknown rule) becomes a
 // diagnostic so suppressions can never silently rot.
-func collectDirectives(pkgs []*Package, fset *token.FileSet, known map[string]bool) (suppressions, []Diagnostic) {
-	sup := suppressions{}
+func collectDirectives(pkgs []*Package, fset *token.FileSet, known map[string]bool) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byPos: map[string]map[int]map[string][]*directiveRecord{}}
 	var diags []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
 		diags = append(diags, Diagnostic{
@@ -189,9 +262,11 @@ func collectDirectives(pkgs []*Package, fset *token.FileSet, known map[string]bo
 						continue
 					}
 					pos := fset.Position(c.Pos())
-					for _, rule := range strings.Split(fields[0], ",") {
-						sup.add(pos.Filename, pos.Line, rule)
-						sup.add(pos.Filename, pos.Line+1, rule)
+					dir := &directiveRecord{pos: pos, rules: strings.Split(fields[0], ",")}
+					sup.directives = append(sup.directives, dir)
+					for _, rule := range dir.rules {
+						sup.add(pos.Filename, pos.Line, rule, dir)
+						sup.add(pos.Filename, pos.Line+1, rule, dir)
 					}
 				}
 			}

@@ -34,6 +34,11 @@ type Package struct {
 	// Types and Info are the go/types results for Files.
 	Types *types.Package
 	Info  *types.Info
+	// Deps maps the import paths of repo-local dependencies (direct
+	// imports that resolved under Config.Dir) to their loaded packages.
+	// Stdlib imports are not included. The call-graph layer walks this
+	// to reach the transitive local closure of the analysis roots.
+	Deps map[string]*Package
 }
 
 // Config controls Load.
@@ -326,7 +331,18 @@ func (l *loader) load(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Files: files, Types: tpkg, Info: info,
+		Deps: map[string]*Package{}}
+	// Local imports were loaded (and memoized) by Check via Import;
+	// record them so analyzers can walk the local dependency graph.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if dep, ok := l.pkgs[ip]; ok {
+				pkg.Deps[ip] = dep
+			}
+		}
+	}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poolpair enforces sync.Pool Get/Put hygiene with a path-sensitive
+// dataflow over the CFG plus the interprocedural acquirer/releaser
+// summaries:
+//
+//   - a value acquired from a pool (directly via (*sync.Pool).Get, or
+//     through an acquirer function like getRunner) must reach a Put —
+//     direct, via a releaser function like putRunner, or registered
+//     with defer — on every path out of the acquiring function;
+//   - a value must not be used (or Put again) after it was returned to
+//     the pool;
+//   - when the pooled type defines a Reset method, a direct Put must be
+//     preceded by a Reset call on the same value (deferred Puts accept
+//     a Reset anywhere in the function, including inside the deferred
+//     closure).
+//
+// Escapes end the obligation: returning the value (that is what makes
+// the function an acquirer — its callers inherit the duty, and the
+// summary propagates it), storing it into a field/map/slice/channel,
+// capturing it in a non-defer closure, or taking its address. Calls
+// through function values or interfaces have no static callee and are
+// treated as plain uses — the value stays held, so a wrapper the
+// analyzer cannot see through must be suppressed with a reason.
+//
+// Bodies containing goto are skipped (CFG bail-out), as are
+// acquisitions the analyzer cannot bind to a single identifier.
+func newPoolPair() *Analyzer {
+	return &Analyzer{
+		Name: "poolpair",
+		Doc:  "sync.Pool values must be Put on every path, never used after Put, and Reset before Put when the type defines Reset",
+		Run:  runPoolPair,
+	}
+}
+
+// Per-path status of one acquisition, unioned into a bitmask.
+const (
+	ppHeld    uint8 = 1 << iota // acquired, no release seen
+	ppHeldDef                   // acquired, deferred release registered
+	ppDone                      // released, escaped, or rebound — tracking over, use-after-put armed only for released
+	ppFreed                     // released (subset of done used for use-after-put)
+)
+
+type acquisition struct {
+	node ast.Node     // the acquiring AssignStmt
+	obj  types.Object // the local the value is bound to
+	pos  token.Pos    // report position (the Get/acquirer call)
+}
+
+func runPoolPair(p *Pass) {
+	p.Prog.summaries()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, body := range funcBodies(fd) {
+				runPoolPairBody(p, body)
+			}
+		}
+	}
+}
+
+func runPoolPairBody(p *Pass, body funcBody) {
+	cfg := p.Prog.cfg(body.Body)
+	if cfg.Unsupported {
+		return
+	}
+	acqs := findAcquisitions(p, body)
+	for _, acq := range acqs {
+		checkAcquisition(p, body, cfg, acq)
+	}
+	// The Reset-before-Put check walks nested literals itself, so it
+	// runs once per declaration, not per funcBody.
+	if _, isDecl := body.Node.(*ast.FuncDecl); isDecl {
+		checkResetBeforePut(p, body)
+	}
+}
+
+// findAcquisitions locates statements binding a pool-acquired value to
+// a single local identifier: v := pool.Get().(*T), v := getX().
+func findAcquisitions(p *Pass, body funcBody) []acquisition {
+	info := p.Pkg.Info
+	var out []acquisition
+	inspectShallow(body.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call := acquiringCall(p, as.Rhs[0])
+		if call == nil {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		out = append(out, acquisition{node: as, obj: obj, pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// acquiringCall unwraps type assertions/conversions around a call to
+// (*sync.Pool).Get or an acquirer function, returning the call.
+func acquiringCall(p *Pass, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		return acquiringCall(p, ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	callee := calleeFunc(p.Pkg.Info, call)
+	if isPoolGet(callee) || p.Prog.acquirers[callee] {
+		return call
+	}
+	return nil
+}
+
+// checkAcquisition runs the per-acquisition dataflow to a fixpoint and
+// reports leaks, double Puts, and uses after Put.
+func checkAcquisition(p *Pass, body funcBody, cfg *CFG, acq acquisition) {
+	in := map[*Block]uint8{}
+	reportedUse := false
+
+	transfer := func(state uint8, n ast.Node) uint8 {
+		if n == acq.node {
+			return state | ppHeld
+		}
+		if state&(ppHeld|ppHeldDef|ppFreed) == 0 {
+			return state
+		}
+		switch kind := releaseKind(p, n, acq.obj); kind {
+		case releaseNow:
+			if state&ppFreed != 0 && !reportedUse {
+				p.Reportf(n.Pos(), "%s may be returned to the pool twice", acq.obj.Name())
+				reportedUse = true
+			}
+			return (state &^ (ppHeld | ppHeldDef)) | ppDone | ppFreed
+		case releaseDeferred:
+			if state&ppHeld != 0 {
+				return (state &^ ppHeld) | ppHeldDef
+			}
+			return state
+		}
+		if rebindsObject(p.Pkg.Info, n, acq.obj) {
+			// The name holds a fresh value now; the old acquisition's
+			// tracking (including its freed flag) ends here.
+			return (state &^ (ppHeld | ppHeldDef | ppFreed)) | ppDone
+		}
+		if state&ppFreed != 0 && nodeMentions(p.Pkg.Info, n, acq.obj) && !reportedUse {
+			p.Reportf(n.Pos(), "use of %s after it was returned to the pool", acq.obj.Name())
+			reportedUse = true
+		}
+		if escapesObject(p.Pkg.Info, n, acq.obj) {
+			return (state &^ (ppHeld | ppHeldDef)) | ppDone
+		}
+		return state
+	}
+
+	work := []*Block{cfg.Entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := in[b]
+		for _, n := range b.Nodes {
+			state = transfer(state, n)
+		}
+		for _, succ := range b.Succs {
+			if old := in[succ]; old|state != old {
+				in[succ] = old | state
+				work = append(work, succ)
+			}
+		}
+	}
+	if in[cfg.Exit]&ppHeld != 0 {
+		p.Reportf(acq.pos, "pool-acquired value %s is not returned to the pool on every path (missing Put or deferred Put)", acq.obj.Name())
+	}
+}
+
+type releaseClass int
+
+const (
+	releaseNone releaseClass = iota
+	releaseNow
+	releaseDeferred
+)
+
+// releaseKind classifies a CFG node as releasing obj now (Put or
+// releaser call executed inline), releasing it at function exit
+// (deferred Put/releaser, possibly wrapped in a closure), or not at
+// all.
+func releaseKind(p *Pass, n ast.Node, obj types.Object) releaseClass {
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if callReleases(p, n.Call, obj) {
+			return releaseDeferred
+		}
+		if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && litReleases(p, lit, obj) {
+			return releaseDeferred
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && callReleases(p, call, obj) {
+			return releaseNow
+		}
+	case *ast.GoStmt:
+		// A goroutine releasing the value takes over the obligation.
+		if callReleases(p, n.Call, obj) {
+			return releaseNow
+		}
+	}
+	return releaseNone
+}
+
+// callReleases reports whether call hands obj to (*sync.Pool).Put or
+// to a releasing parameter of a known releaser.
+func callReleases(p *Pass, call *ast.CallExpr, obj types.Object) bool {
+	callee := calleeFunc(p.Pkg.Info, call)
+	if callee == nil {
+		return false
+	}
+	for ai, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || p.Pkg.Info.Uses[id] != obj {
+			continue
+		}
+		if isPoolPut(callee) || p.Prog.releasers[callee][ai] {
+			return true
+		}
+	}
+	return false
+}
+
+// litReleases reports whether the literal's body contains a releasing
+// call of obj (the deferred-closure conditional-Put idiom).
+func litReleases(p *Pass, lit *ast.FuncLit, obj types.Object) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && callReleases(p, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rebindsObject reports whether n assigns a new value to obj (which
+// ends the old acquisition's tracking).
+func rebindsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if info.Uses[id] == obj || info.Defs[id] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// escapesObject reports whether n lets obj outlive the function or
+// aliases it beyond the analyzer's sight: returning it, storing it in
+// a non-local lvalue or composite, sending it on a channel, capturing
+// it in a (non-defer) closure, appending it, or taking its address.
+func escapesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		return nodeMentions(info, n, obj)
+	case *ast.SendStmt:
+		return nodeMentions(info, n.Value, obj)
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				// Storing through a selector/index/deref: if the RHS
+				// mentions obj it escapes into that structure.
+				for _, rhs := range n.Rhs {
+					if nodeMentions(info, rhs, obj) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	escaped := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if deepMentions(info, x.Body, obj) {
+				escaped = true
+			}
+			return false
+		case *ast.CompositeLit:
+			if deepMentions(info, x, obj) {
+				escaped = true
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && deepMentions(info, x.X, obj) {
+				escaped = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range x.Args[1:] {
+					if deepMentions(info, arg, obj) {
+						escaped = true
+					}
+				}
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// deepMentions reports whether n mentions obj anywhere, including
+// inside nested function literals.
+func deepMentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeMentions is deepMentions without descending into nested
+// function literals (whose uses run on their own schedule and are
+// judged by escape analysis above).
+func nodeMentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	inspectShallow(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkResetBeforePut requires a Reset call before every direct
+// (*sync.Pool).Put of a value whose type defines Reset. The Reset may
+// appear anywhere earlier in the function; for a Put inside a deferred
+// closure, anywhere in the function at all (the closure runs last).
+func checkResetBeforePut(p *Pass, body funcBody) {
+	info := p.Pkg.Info
+	type putSite struct {
+		call     *ast.CallExpr
+		obj      types.Object
+		deferred bool
+	}
+	var puts []putSite
+	var resets []struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+					// Args evaluate at the defer statement, not at exit.
+					for _, a := range x.Call.Args {
+						walk(a, inDefer)
+					}
+					return false
+				}
+				walk(x.Call, true)
+				return false
+			case *ast.CallExpr:
+				callee := calleeFunc(info, x)
+				if isPoolPut(callee) && len(x.Args) == 1 {
+					if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil {
+							puts = append(puts, putSite{call: x, obj: obj, deferred: inDefer})
+						}
+					}
+				}
+				if callee != nil && callee.Name() == "Reset" {
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							if obj := info.Uses[id]; obj != nil {
+								resets = append(resets, struct {
+									obj types.Object
+									pos token.Pos
+								}{obj, x.Pos()})
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body.Body, false)
+	for _, put := range puts {
+		if !typeHasReset(put.obj.Type()) {
+			continue
+		}
+		ok := false
+		for _, r := range resets {
+			if r.obj != put.obj {
+				continue
+			}
+			if put.deferred || r.pos < put.call.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			p.Reportf(put.call.Pos(), "%s is returned to the pool without a Reset; type %s defines Reset", put.obj.Name(), put.obj.Type().String())
+		}
+	}
+}
+
+// typeHasReset reports whether t (or *t) has a Reset method.
+func typeHasReset(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(t), true, nil, "Reset")
+	_, isFn := obj.(*types.Func)
+	return isFn
+}

@@ -1,0 +1,100 @@
+// Package floatcmp exercises the float-comparison analyzer: bare
+// equality, the sanctioned tie-break-guard idiom, sentinel and NaN
+// probes, and comparators with and without deterministic tie-breaks.
+package floatcmp
+
+import (
+	"sort"
+
+	"floatcmpdep"
+)
+
+type item struct {
+	score float64
+	id    int
+}
+
+// equalNoGuard decides something by float identity.
+func equalNoGuard(a, b float64) bool {
+	return a == b // want "floatcmp: floating-point == comparison"
+}
+
+// notEqualNoGuard is the != spelling of the same hazard.
+func notEqualNoGuard(a, b float64) bool {
+	return a != b // want "floatcmp: floating-point != comparison"
+}
+
+// tieBreakGuard is the sanctioned idiom: the != guards an ordering of
+// the same pair, and equal keys fall through to a deterministic key.
+func tieBreakGuard(a, b item) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.id < b.id
+}
+
+// sentinel compares against a constant: exempt.
+func sentinel(x float64) bool {
+	return x == 0
+}
+
+// nanProbe is the stdlib-free NaN test: exempt.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// sortNoTieBreak leaves equal scores to the sort's whim.
+func sortNoTieBreak(xs []item) {
+	sort.Slice(xs, func(i, j int) bool { // want "floatcmp: sort.Slice comparator orders by floats"
+		return xs[i].score < xs[j].score
+	})
+}
+
+// sortWithTieBreak falls back to an integer key on equal scores.
+func sortWithTieBreak(xs []item) {
+	sort.Slice(xs, func(i, j int) bool {
+		if xs[i].score != xs[j].score {
+			return xs[i].score < xs[j].score
+		}
+		return xs[i].id < xs[j].id
+	})
+}
+
+// sortStableIsExempt: ties keep input order, which is deterministic.
+func sortStableIsExempt(xs []item) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].score < xs[j].score })
+}
+
+type byScore []item
+
+func (s byScore) Len() int      { return len(s) }
+func (s byScore) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Less orders by floats alone.
+func (s byScore) Less(i, j int) bool { // want "floatcmp: comparator Less orders by floats"
+	return s[i].score < s[j].score
+}
+
+type byScoreThenIdx []item
+
+func (s byScoreThenIdx) Len() int      { return len(s) }
+func (s byScoreThenIdx) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+// Less has an index tie-break: exempt.
+func (s byScoreThenIdx) Less(i, j int) bool {
+	if s[i].score != s[j].score {
+		return s[i].score < s[j].score
+	}
+	return i < j
+}
+
+// memoKeyEqual shows the escape hatch.
+func memoKeyEqual(a, b float64) bool {
+	//lint:ignore floatcmp exact bit-equality is the memo-key contract here
+	return a == b
+}
+
+// usesDep keeps the dependency genuinely imported.
+func usesDep(a, b float64) bool {
+	return floatcmpdep.ExactEqual(a, b)
+}

@@ -1,0 +1,8 @@
+// Package floatcmpdep carries its own finding, so the multi-package
+// fixture shows diagnostics landing in every loaded root.
+package floatcmpdep
+
+// ExactEqual compares floats for identity with no guard.
+func ExactEqual(a, b float64) bool {
+	return a == b // want "floatcmp: floating-point == comparison"
+}

@@ -1,0 +1,74 @@
+// Package hotalloc exercises the zero-alloc analyzer: the deny-listed
+// constructs inside annotated functions, propagation through local and
+// cross-package calls, the allowed constructs, and the escape hatch.
+package hotalloc
+
+import (
+	"fmt"
+
+	"hotallocdep"
+)
+
+type point struct {
+	x, y int
+}
+
+// Spin is an annotated seed; the obligation propagates to everything
+// it statically reaches, including hotallocdep.Index.
+//
+//perf:hotpath
+func Spin(keys []string, xs []int) int {
+	m := hotallocdep.Index(keys)
+	total := hotallocdep.Sum(xs) + localAlloc() + clean(xs)
+	return total + len(m)
+}
+
+// localAlloc is unannotated but reachable from Spin.
+func localAlloc() int {
+	xs := []int{1, 2, 3} // want "hotalloc: slice literal in hot path .reachable from //perf:hotpath Spin."
+	return len(xs)
+}
+
+// clean is reachable too, and allocation-free: no finding.
+func clean(xs []int) int {
+	acc := 0
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// notHot allocates freely: nothing annotated reaches it.
+func notHot() []int {
+	return make([]int, 8)
+}
+
+// constructs is its own seed and trips each deny-listed construct
+// once; the by-value struct literal and the append are allowed.
+//
+//perf:hotpath
+func constructs(s string, xs []int, v point) int {
+	f := func() int { return 1 } // want "hotalloc: closure creation in hot path"
+	m := map[int]int{}           // want "hotalloc: map literal in hot path"
+	p := new(int)                // want "hotalloc: new in hot path"
+	bp := &point{1, 2}           // want "hotalloc: address-taken composite literal in hot path"
+	s2 := s + "!"                // want "hotalloc: string concatenation in hot path"
+	bs := []byte(s)              // want "hotalloc: string conversion in hot path"
+	var box interface{} = 0
+	box = interface{}(v) // want "hotalloc: interface conversion .boxing. in hot path"
+	fmt.Println(s2, box) // want "hotalloc: fmt.Println call in hot path"
+	onStack := point{3, 4}
+	xs = append(xs, onStack.x, onStack.y)
+	return f() + len(m) + *p + bp.x + len(bs) + len(xs)
+}
+
+// coldError shows the escape hatch on a cold error path.
+//
+//perf:hotpath
+func coldError(fail bool) error {
+	if fail {
+		//lint:ignore hotalloc cold error path: the run is over, allocation is fine
+		return fmt.Errorf("spin failed")
+	}
+	return nil
+}

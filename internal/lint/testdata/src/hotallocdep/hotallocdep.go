@@ -1,0 +1,23 @@
+// Package hotallocdep supplies callees for the cross-package
+// hot-closure test: the annotation lives in the root package, the
+// allocation in this one.
+package hotallocdep
+
+// Index allocates a map; it is only a finding because the root's
+// annotated Spin reaches it through the call graph.
+func Index(keys []string) map[string]int {
+	out := make(map[string]int, len(keys)) // want "hotalloc: make in hot path .reachable from //perf:hotpath Spin."
+	for i, k := range keys {
+		out[k] = i
+	}
+	return out
+}
+
+// Sum is allocation-free and equally reachable: no finding.
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

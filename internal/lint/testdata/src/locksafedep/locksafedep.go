@@ -1,0 +1,18 @@
+// Package locksafedep supplies blocking helpers, so the root fixture
+// can exercise the cross-package may-block summary.
+package locksafedep
+
+// Notify blocks directly: it sends on an unbuffered channel.
+func Notify(ch chan int, v int) {
+	ch <- v
+}
+
+// Relay blocks transitively through Notify.
+func Relay(ch chan int, v int) {
+	Notify(ch, v)
+}
+
+// Pure is a non-blocking helper.
+func Pure(v int) int {
+	return v * 2
+}

@@ -1,0 +1,113 @@
+// Package poolpair exercises the pool-hygiene analyzer: leaks on some
+// exit path, use-after-put, double put, Reset-before-Put, escapes via
+// return, the goto bailout, and cross-package acquirer/releaser
+// propagation through poolpairdep.
+package poolpair
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"poolpairdep"
+)
+
+var errNope = errors.New("nope")
+
+var bufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// leakOnErrorPath forgets the Put on the early return.
+func leakOnErrorPath(fail bool) error {
+	buf := bufPool.Get().(*bytes.Buffer) // want "poolpair: pool-acquired value buf is not returned to the pool on every path"
+	if fail {
+		return errNope
+	}
+	buf.Reset()
+	bufPool.Put(buf)
+	return nil
+}
+
+// deferredClosurePut releases on every path through a deferred
+// closure; the Reset rides along inside it.
+func deferredClosurePut() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bufPool.Put(buf)
+	}()
+	buf.WriteString("x")
+}
+
+// putWithoutReset returns a resettable type to the pool dirty.
+func putWithoutReset() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.WriteString("x")
+	bufPool.Put(buf) // want "poolpair: buf is returned to the pool without a Reset"
+}
+
+// useAfterPut reads the value after handing it back.
+func useAfterPut() int {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	bufPool.Put(buf)
+	return buf.Len() // want "poolpair: use of buf after it was returned to the pool"
+}
+
+// doublePut returns the same value twice.
+func doublePut() {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	bufPool.Put(buf)
+	bufPool.Put(buf) // want "poolpair: buf may be returned to the pool twice"
+}
+
+// escapeViaReturn transfers ownership out: this function becomes an
+// acquirer itself, and its (nonexistent) callers would inherit the
+// obligation.
+func escapeViaReturn() *bytes.Buffer {
+	buf := bufPool.Get().(*bytes.Buffer)
+	return buf
+}
+
+// crossLeak acquires through the dependency's wrapper and loses the
+// value on the early return: the acquirer summary crosses packages.
+func crossLeak(fail bool) {
+	t := poolpairdep.GetThing() // want "poolpair: pool-acquired value t is not returned to the pool on every path"
+	if fail {
+		return
+	}
+	poolpairdep.PutThing(t)
+}
+
+// crossClean releases through the dependency's releaser on the one
+// path there is.
+func crossClean() int {
+	t := poolpairdep.GetThing()
+	n := len(t.Buf)
+	poolpairdep.PutThing(t)
+	return n
+}
+
+// gotoBailout: goto is outside the CFG builder's model, so the whole
+// function is skipped rather than misjudged.
+func gotoBailout(fail bool) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	if fail {
+		goto out
+	}
+	buf.Reset()
+	bufPool.Put(buf)
+out:
+	return
+}
+
+// suppressedLeak shows the escape hatch.
+func suppressedLeak(fail bool) {
+	//lint:ignore poolpair fixture: the early-return leak is acknowledged
+	buf := bufPool.Get().(*bytes.Buffer)
+	if fail {
+		return
+	}
+	buf.Reset()
+	bufPool.Put(buf)
+}

@@ -1,0 +1,30 @@
+// Package poolpairdep supplies the pooled type and its acquire/release
+// wrappers, so the root fixture can exercise the cross-package
+// acquirer/releaser summaries.
+package poolpairdep
+
+import "sync"
+
+// Thing is the pooled type. It defines Reset, so direct Puts of a
+// Thing must be preceded by one.
+type Thing struct {
+	Buf []byte
+}
+
+// Reset clears the buffer for reuse.
+func (t *Thing) Reset() { t.Buf = t.Buf[:0] }
+
+var pool = sync.Pool{New: func() interface{} { return new(Thing) }}
+
+// GetThing is an acquirer: its result strictly aliases pool.Get, so
+// callers inherit the Put obligation.
+func GetThing() *Thing {
+	t := pool.Get().(*Thing)
+	return t
+}
+
+// PutThing is a releaser for its parameter: Reset, then Put.
+func PutThing(t *Thing) {
+	t.Reset()
+	pool.Put(t)
+}

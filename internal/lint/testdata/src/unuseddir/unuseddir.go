@@ -1,0 +1,19 @@
+// Package unuseddir exercises stale-suppression reporting: a
+// //lint:ignore that suppresses nothing on its own or the next line is
+// itself a finding, reported under the directive pseudo-rule.
+package unuseddir
+
+import "os"
+
+// usedDirective suppresses a real errdrop finding: no report.
+func usedDirective() {
+	//lint:ignore errdrop best-effort cleanup on the failure path
+	os.Remove("a.tmp")
+}
+
+// staleDirective suppresses nothing: the error below is returned, not
+// dropped, so the directive itself is the finding.
+func staleDirective() error {
+	//lint:ignore errdrop nothing here drops an error // want "directive: unused //lint:ignore errdrop"
+	return os.Remove("b.tmp")
+}

@@ -76,6 +76,7 @@ func ExactMapping(weights []float64, m int) []int {
 			// Symmetry: skip machines identical in load to an earlier one.
 			dup := false
 			for i2 := 0; i2 < i; i2++ {
+				//lint:ignore floatcmp symmetry pruning wants bit-identical loads; near-equal machines are legitimately distinct
 				if loads[i2] == loads[i] {
 					dup = true
 					break

@@ -409,6 +409,7 @@ func Exact(times []float64, m int, maxNodes int) (float64, bool) {
 			// Symmetry: skip machines with the same load as an earlier one.
 			dup := false
 			for i2 := 0; i2 < i; i2++ {
+				//lint:ignore floatcmp symmetry pruning wants bit-identical loads; near-equal machines are legitimately distinct
 				if loads[i2] == loads[i] {
 					dup = true
 					break

@@ -61,9 +61,11 @@ func Plot(w io.Writer, series []bounds.Series, opts PlotOptions) error {
 		_, err := fmt.Fprintln(w, "(no data)")
 		return err
 	}
+	//lint:ignore floatcmp degenerate-range guard: only exact equality divides by zero below
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floatcmp degenerate-range guard: only exact equality divides by zero below
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -76,7 +78,7 @@ func Plot(w io.Writer, series []bounds.Series, opts PlotOptions) error {
 		mark := markers[si%len(markers)]
 		// Sort by X so line interpolation is well defined.
 		pts := append([]bounds.Point(nil), s.Points...)
-		sort.Slice(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
+		sort.SliceStable(pts, func(a, b int) bool { return pts[a].X < pts[b].X })
 		var prevC, prevR = -1, -1
 		for _, p := range pts {
 			x := p.X

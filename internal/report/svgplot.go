@@ -70,9 +70,11 @@ func WriteSVGPlot(w io.Writer, series []bounds.Series, opts SVGPlotOptions) erro
 		_, err := io.WriteString(w, b.String())
 		return err
 	}
+	//lint:ignore floatcmp degenerate-range guard: only exact equality divides by zero below
 	if xmax == xmin {
 		xmax = xmin + 1
 	}
+	//lint:ignore floatcmp degenerate-range guard: only exact equality divides by zero below
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -127,7 +129,7 @@ func WriteSVGPlot(w io.Writer, series []bounds.Series, opts SVGPlotOptions) erro
 	for si, s := range series {
 		color := seriesColors[si%len(seriesColors)]
 		pts := append([]bounds.Point(nil), s.Points...)
-		sort.Slice(pts, func(a, c int) bool { return pts[a].X < pts[c].X })
+		sort.SliceStable(pts, func(a, c int) bool { return pts[a].X < pts[c].X })
 		var path strings.Builder
 		drawn := 0
 		for _, p := range pts {

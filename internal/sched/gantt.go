@@ -30,7 +30,12 @@ func (s *Schedule) Gantt(width int) string {
 	fmt.Fprintf(&b, "time 0 %s %.4g\n", strings.Repeat("-", width-4), makespan)
 	for i := 0; i < s.M; i++ {
 		as := perMachine[i]
-		sort.Slice(as, func(x, y int) bool { return as[x].Start < as[y].Start })
+		sort.Slice(as, func(x, y int) bool {
+			if as[x].Start != as[y].Start {
+				return as[x].Start < as[y].Start
+			}
+			return as[x].Task < as[y].Task
+		})
 		row := make([]byte, width)
 		for c := range row {
 			row[c] = '.'

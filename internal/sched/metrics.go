@@ -102,6 +102,7 @@ func (s *Schedule) CriticalPath() []Assignment {
 	makespan := s.Makespan()
 	critical := -1
 	for _, a := range s.Assignments {
+		//lint:ignore floatcmp makespan is the max of these exact End values, so equality is exact, not rounded
 		if a.End == makespan {
 			critical = a.Machine
 			break
@@ -116,6 +117,11 @@ func (s *Schedule) CriticalPath() []Assignment {
 			out = append(out, a)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Task < out[j].Task
+	})
 	return out
 }

@@ -65,7 +65,12 @@ func (s *Schedule) WriteSVG(w io.Writer, opts SVGOptions) error {
 		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
 			marginLeft, y+rowH, marginLeft+chartW, y+rowH)
 		as := perMachine[i]
-		sort.Slice(as, func(x, yi int) bool { return as[x].Start < as[yi].Start })
+		sort.Slice(as, func(x, yi int) bool {
+			if as[x].Start != as[yi].Start {
+				return as[x].Start < as[yi].Start
+			}
+			return as[x].Task < as[yi].Task
+		})
 		for _, a := range as {
 			x := marginLeft + int(a.Start*scale)
 			wpx := int((a.End - a.Start) * scale)

@@ -401,6 +401,29 @@ func (r *OpenRunner) Run(in *task.Instance, p *placement.Placement, order []int,
 		inv[j].Task = pos
 	}
 
+	completed := r.replay(in, p, order, arrive, opts)
+
+	if completed != n {
+		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-completed, n)
+	}
+	return &r.res, nil
+}
+
+// replay is the open-system event loop: admit arrivals and machine
+// events in time order, complete or cancel replicas, and dispatch the
+// highest-priority arrived eligible task on each idle machine. It
+// returns the number of completed tasks. opts travels by value so the
+// parameter never forces a heap spill; the Duration hook inside it is
+// a dynamic call hotalloc cannot see through, which the bench gate
+// backstops. Everything statically reachable from here must not
+// allocate (the hotalloc rule enforces it).
+//
+//perf:hotpath
+func (r *OpenRunner) replay(in *task.Instance, p *placement.Placement, order []int, arrive []float64, opts OpenOptions) int {
+	n := in.N()
+	m := in.M
+	// The inverse permutation staged in the Task fields by Run.
+	inv := r.sched.Assignments
 	completed := 0
 	ai := 0 // next arrival to admit
 	for ai < n || len(r.q) > 0 {
@@ -490,9 +513,5 @@ func (r *OpenRunner) Run(in *task.Instance, p *placement.Placement, order []int,
 		r.wake(i, now+executed)
 	}
 	openRuns.Inc()
-
-	if completed != n {
-		return nil, fmt.Errorf("sim: %d of %d tasks never executed", n-completed, n)
-	}
-	return &r.res, nil
+	return completed
 }

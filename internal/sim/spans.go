@@ -27,6 +27,11 @@ type flatScratch struct {
 //   - runSpanHeap: the general event loop over the shard's machines;
 //   - runSpanFailures: the fail-stop port of RunWithFailures, used only
 //     for shards that actually contain crashes.
+//
+// This is the benchmarked FlatRunner event loop: everything statically
+// reachable from here must not allocate (the hotalloc rule enforces it).
+//
+//perf:hotpath
 func (r *FlatRunner) runSpan(in *task.Instance, p *placement.Placement, s int,
 	sc *flatScratch, opts *FlatOptions) {
 	ms := r.shardMachines[r.shardOff[s]:r.shardOff[s+1]]
@@ -159,11 +164,13 @@ func (r *FlatRunner) hookTick(s, j, machine int, ev mEvent, opts *FlatOptions) (
 	sec := opts.Duration(j, machine)
 	d, err := tick.FromSeconds(sec)
 	if err != nil {
+		//lint:ignore hotalloc duration-hook rejection path: the run is over, allocation is fine
 		r.shardErrs[s] = spanError{key: ev, err: fmt.Errorf(
 			"sim: duration hook for task %d on machine %d: %w", j, machine, err)}
 		return 0, false
 	}
 	if d < 0 {
+		//lint:ignore hotalloc duration-hook rejection path: the run is over, allocation is fine
 		r.shardErrs[s] = spanError{key: ev, err: fmt.Errorf(
 			"sim: duration hook returned negative %v for task %d on machine %d", sec, j, machine)}
 		return 0, false
@@ -185,17 +192,26 @@ func (r *FlatRunner) runSpanFailures(p *placement.Placement, s int, ms []int32, 
 	for _, i := range ms {
 		h = append(h, mEvent{t: 0, m: i})
 	}
+	// The loop runs as a separate function so its early error returns
+	// and the normal exit share one explicit teardown here — a deferred
+	// closure would do the same job but allocates, and this is the
+	// benchmarked zero-alloc path.
+	completedCount, h, retry := r.failureLoop(p, s, ms, sc, h)
+	sc.heap = h[:0]
+	sc.retry = retry[:0]
+	// In failure mode the per-shard tally is completions, matching
+	// the sequential engine's never-completed accounting.
+	r.shardStarted[s] = completedCount
+}
+
+// failureLoop is runSpanFailures' event loop, returning the completion
+// tally and the (possibly regrown) heap and retry slices for reuse.
+func (r *FlatRunner) failureLoop(p *placement.Placement, s int, ms []int32,
+	sc *flatScratch, h []mEvent) (int32, []mEvent, []int32) {
 	retry := sc.retry[:0]
 	crashes := sc.crashes
 	tasks := r.shardTasks[r.shardTaskOff[s]:r.shardTaskOff[s+1]]
 	completedCount := int32(0)
-	defer func() {
-		sc.heap = h[:0]
-		sc.retry = retry[:0]
-		// In failure mode the per-shard tally is completions, matching
-		// the sequential engine's never-completed accounting.
-		r.shardStarted[s] = completedCount
-	}()
 
 	for len(h) > 0 || len(crashes) > 0 {
 		if len(crashes) > 0 && (len(h) == 0 || crashes[0].t <= h[0].t) {
@@ -218,9 +234,10 @@ func (r *FlatRunner) runSpanFailures(p *placement.Placement, s int, ms []int32, 
 					r.sched.Assignments[j] = sched.Assignment{}
 					r.runTask[c.m] = -1
 					if !survivable(p, int(j), r.dead) {
+						//lint:ignore hotalloc unsurvivable-crash error path: the run is over, allocation is fine
 						r.shardErrs[s] = spanError{key: c, err: fmt.Errorf(
 							"%w: task %d only on machine %d", ErrUnsurvivable, j, c.m)}
-						return
+						return completedCount, h, retry
 					}
 					retry = append(retry, j)
 					for _, i := range ms {
@@ -238,8 +255,9 @@ func (r *FlatRunner) runSpanFailures(p *placement.Placement, s int, ms []int32, 
 			// A pending task whose every replica is dead is stranded.
 			for _, j := range tasks {
 				if !r.completed[j] && !survivable(p, int(j), r.dead) && !r.shardRunningAlive(ms, j) {
+					//lint:ignore hotalloc unsurvivable-crash error path: the run is over, allocation is fine
 					r.shardErrs[s] = spanError{key: c, err: fmt.Errorf("%w: task %d", ErrUnsurvivable, j)}
-					return
+					return completedCount, h, retry
 				}
 			}
 			continue
@@ -294,6 +312,7 @@ func (r *FlatRunner) runSpanFailures(p *placement.Placement, s int, ms []int32, 
 		}
 		h = mPush(h, mEvent{t: end, m: i})
 	}
+	return completedCount, h, retry
 }
 
 // shardRunningAlive reports whether task j is in flight on an alive

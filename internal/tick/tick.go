@@ -70,10 +70,12 @@ const two63 = 9223372036854775808.0
 // included, which is what the cross-engine byte-identity tests rely on.
 func FromSeconds(s float64) (Tick, error) {
 	if math.IsNaN(s) || math.IsInf(s, 0) {
+		//lint:ignore hotalloc conversion rejection path: callers abort the run on error
 		return 0, fmt.Errorf("%w: %v", ErrNotFinite, s)
 	}
 	f := math.Round(s * 1e9)
 	if f >= two63 || f <= -two63 {
+		//lint:ignore hotalloc conversion rejection path: callers abort the run on error
 		return 0, fmt.Errorf("%w: %v s", ErrOverflow, s)
 	}
 	return Tick(f), nil

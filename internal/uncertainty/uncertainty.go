@@ -247,7 +247,11 @@ func targetSet(in *task.Instance, ctx *Context) map[int]bool {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool {
-		return in.Tasks[idx[a]].Estimate > in.Tasks[idx[b]].Estimate
+		ea, eb := in.Tasks[idx[a]].Estimate, in.Tasks[idx[b]].Estimate
+		if ea != eb {
+			return ea > eb
+		}
+		return idx[a] < idx[b]
 	})
 	m := in.M
 	if m <= 0 {
