@@ -72,7 +72,7 @@ bench:
 # committed baseline. BENCHTIME must match the conditions the baseline
 # was recorded under (see EXPERIMENTS.md) or the comparison is unfair.
 BENCHTIME ?= 500ms
-BASELINE  ?= BENCH_8.json
+BASELINE  ?= BENCH_10.json
 
 benchreport:
 	$(GO) run ./cmd/benchreport -baseline $(BASELINE) -benchtime $(BENCHTIME)
@@ -95,6 +95,7 @@ figs:
 fuzz:
 	$(GO) test -fuzz=FuzzTimeConv -fuzztime=30s ./internal/tick/
 	$(GO) test -fuzz=FuzzGroupPartition -fuzztime=30s ./internal/sim/
+	$(GO) test -fuzz=FuzzOpenWheel -fuzztime=30s ./internal/sim/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/workload/
 	$(GO) test -fuzz=FuzzInstanceJSON -fuzztime=30s ./internal/task/
 	$(GO) test -fuzz=FuzzDecodeInstance -fuzztime=30s ./internal/serve/

@@ -183,13 +183,23 @@ func BenchmarkSimLoopEvent(b *testing.B) {
 	}
 }
 
-// BenchmarkOpenSimLoop measures the open-system event loop — Poisson
-// arrivals, replicate-everywhere placement, cancel-on-completion
+// BenchmarkOpenSimLoop measures the flat-engine open-system loop —
+// Poisson arrivals, replicate-everywhere placement, cancel-on-completion
 // racing — with everything but the pooled replay precomputed, via the
 // curated suite.
 func BenchmarkOpenSimLoop(b *testing.B) {
 	for _, s := range benchsuite.Curated() {
 		if rest, ok := strings.CutPrefix(s.Name, "OpenSimLoop/"); ok {
+			b.Run(rest, s.Run)
+		}
+	}
+}
+
+// BenchmarkOpenSimLoopEvent measures the float event-heap open-system
+// reference on the same workload, keeping the pre-refactor loop pinned.
+func BenchmarkOpenSimLoopEvent(b *testing.B) {
+	for _, s := range benchsuite.Curated() {
+		if rest, ok := strings.CutPrefix(s.Name, "OpenSimLoopEvent/"); ok {
 			b.Run(rest, s.Run)
 		}
 	}

@@ -5,16 +5,24 @@
 //
 // Usage:
 //
-//	benchreport [-baseline BENCH_5.json] [-out report.json]
+//	benchreport [-baseline BENCH_5.json] [-out report.json] [-format text|json]
 //	            [-tolerance 1.3] [-benchtime 200ms] [-update] [-list]
 //
 // The report records ns/op, B/op, allocs/op, and tasks/s per
 // benchmark. With -baseline, each benchmark's ns/op is compared to the
-// baseline entry and the run fails (exit 1) if any exceeds
-// baseline × tolerance; benchmarks missing from the baseline are
-// reported but not gated. With -update the baseline file is rewritten
-// with the fresh numbers instead. The JSON carries no timestamps or
-// host details, so -update produces minimal diffs.
+// baseline entry — every progress line and report row carries the
+// delta as a ×-baseline ratio — and the run fails (exit 1) if any
+// exceeds baseline × tolerance; benchmarks missing from the baseline
+// are reported but not gated. With -update the baseline file is
+// rewritten with the fresh numbers instead (ratios stripped: a
+// baseline is 1.00× itself by definition). The JSON carries no
+// timestamps or host details, so -update produces minimal diffs.
+//
+// -format json writes the fresh report, deltas included, to stdout —
+// the same schema -out writes — so a CI run can archive a diffable
+// artifact without a scratch file. The default text format prints
+// nothing to stdout; progress and the comparison table go to stderr
+// either way.
 package main
 
 import (
@@ -36,6 +44,11 @@ type Measurement struct {
 	// TasksPerSec is derived from the spec's task count; 0 when the
 	// benchmark has no task-throughput interpretation.
 	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+	// VsBaseline is ns/op relative to the -baseline entry of the same
+	// name (1.0 = unchanged, 2.0 = twice as slow). 0 when no baseline
+	// was given, the benchmark is missing from it, or the report IS the
+	// baseline (-update strips it).
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
 // Report is the BENCH_*.json schema.
@@ -55,10 +68,14 @@ func main() {
 		benchtime = flag.String("benchtime", "1s", "per-benchmark measuring time (test.benchtime syntax)")
 		update    = flag.Bool("update", false, "rewrite the baseline with this run's numbers")
 		list      = flag.Bool("list", false, "list curated benchmark names and exit")
+		format    = flag.String("format", "text", "stdout format: text (nothing) or json (the fresh report)")
 	)
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fatalf("bad -benchtime: %v", err)
+	}
+	if *format != "text" && *format != "json" {
+		fatalf("bad -format %q (want text or json)", *format)
 	}
 
 	specs := benchsuite.Curated()
@@ -67,6 +84,22 @@ func main() {
 			fmt.Println(s.Name)
 		}
 		return
+	}
+
+	// Load the baseline before running so every progress line (and the
+	// report itself) carries the delta column. With -update the old
+	// numbers are still worth comparing against; a missing file is only
+	// fatal when it is needed for gating.
+	var byName map[string]Measurement
+	if *baseline != "" {
+		base, err := readReport(*baseline)
+		if err != nil && !*update {
+			fatalf("reading baseline: %v (run with -update to create it)", err)
+		}
+		byName = make(map[string]Measurement, len(base.Benchmarks))
+		for _, m := range base.Benchmarks {
+			byName[m.Name] = m
+		}
 	}
 
 	report := Report{Benchmarks: make([]Measurement, 0, len(specs))}
@@ -82,10 +115,16 @@ func main() {
 		if s.Tasks > 0 && m.NsPerOp > 0 {
 			m.TasksPerSec = float64(s.Tasks) * 1e9 / m.NsPerOp
 		}
+		if b, ok := byName[m.Name]; ok && b.NsPerOp > 0 {
+			m.VsBaseline = m.NsPerOp / b.NsPerOp
+		}
 		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10d B/op %8d allocs/op",
 			m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 		if m.TasksPerSec > 0 {
 			fmt.Fprintf(os.Stderr, " %12.0f tasks/s", m.TasksPerSec)
+		}
+		if m.VsBaseline > 0 {
+			fmt.Fprintf(os.Stderr, " %6.2fx baseline", m.VsBaseline)
 		}
 		fmt.Fprintln(os.Stderr)
 		report.Benchmarks = append(report.Benchmarks, m)
@@ -96,22 +135,30 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if *format == "json" {
+		if err := writeReport("-", report); err != nil {
+			fatalf("%v", err)
+		}
+	}
 
 	if *baseline == "" {
 		return
 	}
 	if *update {
-		if err := writeReport(*baseline, report); err != nil {
+		// Strip the ratios: a baseline is 1.00× itself by definition,
+		// and keeping stale deltas would make the committed file lie.
+		stripped := Report{Benchmarks: make([]Measurement, len(report.Benchmarks))}
+		copy(stripped.Benchmarks, report.Benchmarks)
+		for i := range stripped.Benchmarks {
+			stripped.Benchmarks[i].VsBaseline = 0
+		}
+		if err := writeReport(*baseline, stripped); err != nil {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "baseline %s updated\n", *baseline)
 		return
 	}
-	base, err := readReport(*baseline)
-	if err != nil {
-		fatalf("reading baseline: %v (run with -update to create it)", err)
-	}
-	if failed := compare(report, base, *tolerance); failed > 0 {
+	if failed := compare(report, byName, *tolerance); failed > 0 {
 		fatalf("%d benchmark(s) regressed beyond %.0f%% of baseline", failed, (*tolerance-1)*100)
 	}
 }
@@ -120,11 +167,7 @@ func main() {
 // number of failures. Only ns/op gates the run — allocation counts are
 // informative (they vary legitimately with pool warm-up) — but a
 // regression message includes them for diagnosis.
-func compare(fresh, base Report, tolerance float64) int {
-	byName := make(map[string]Measurement, len(base.Benchmarks))
-	for _, m := range base.Benchmarks {
-		byName[m.Name] = m
-	}
+func compare(fresh Report, byName map[string]Measurement, tolerance float64) int {
 	failed := 0
 	for _, m := range fresh.Benchmarks {
 		b, ok := byName[m.Name]
@@ -132,14 +175,13 @@ func compare(fresh, base Report, tolerance float64) int {
 			fmt.Fprintf(os.Stderr, "NOTE  %s: not in baseline (run -update to add it)\n", m.Name)
 			continue
 		}
-		ratio := m.NsPerOp / b.NsPerOp
 		status := "ok  "
-		if ratio > tolerance {
+		if m.VsBaseline > tolerance {
 			status = "FAIL"
 			failed++
 		}
 		fmt.Fprintf(os.Stderr, "%s  %-32s %.2fx baseline (%.0f vs %.0f ns/op, allocs %d vs %d)\n",
-			status, m.Name, ratio, m.NsPerOp, b.NsPerOp, m.AllocsPerOp, b.AllocsPerOp)
+			status, m.Name, m.VsBaseline, m.NsPerOp, b.NsPerOp, m.AllocsPerOp, b.AllocsPerOp)
 	}
 	return failed
 }

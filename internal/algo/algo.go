@@ -61,6 +61,20 @@ type Result struct {
 	Makespan float64
 }
 
+// OpenResult is the outcome of executing an algorithm's placement in
+// the open-system streaming mode: phase 1 places replicas exactly as
+// in the batch model, but phase 2 serves an arrival stream and the
+// metric is the response-time distribution (see sim.OpenResult).
+type OpenResult struct {
+	// Algorithm is the algorithm's name.
+	Algorithm string
+	// Placement is the phase-1 decision.
+	Placement *placement.Placement
+	// Open is the simulator output: responses, winning-replica
+	// schedule, cancellation accounting.
+	Open *sim.OpenResult
+}
+
 // Execute runs both phases of the algorithm on the instance and
 // verifies the resulting schedule against the placement. The returned
 // Result is freshly allocated and owned by the caller; trial loops
@@ -68,6 +82,16 @@ type Result struct {
 func Execute(in *task.Instance, a Algorithm) (*Result, error) {
 	var s Scratch // fresh state: the returned buffers are caller-owned
 	return s.Execute(in, a)
+}
+
+// ExecuteOpen runs phase 1 of the algorithm and serves the arrival
+// stream through the open-system simulator. The returned OpenResult is
+// freshly allocated and caller-owned; trial loops should reuse a
+// Scratch.
+func ExecuteOpen(in *task.Instance, a Algorithm, arrive []float64,
+	opts sim.OpenOptions) (*OpenResult, error) {
+	var s Scratch // fresh state: the returned buffers are caller-owned
+	return s.ExecuteOpen(in, a, arrive, opts)
 }
 
 // Scratch is reusable two-phase execution state: the phase-1 placement,
@@ -98,11 +122,14 @@ type Scratch struct {
 
 	runner     sim.Runner
 	flat       sim.FlatRunner
+	open       sim.OpenRunner
+	flatOpen   sim.FlatOpenRunner
 	disp       sim.ListDispatcher
 	place      placement.Placement
 	order      []int
 	placeOrder []int
 	res        Result
+	openRes    OpenResult
 }
 
 // intoPlacer is implemented by algorithms whose phase-1 decision can
@@ -120,9 +147,10 @@ type orderAppender interface {
 	appendOrder(in *task.Instance, buf []int) []int
 }
 
-// Execute runs both phases of the algorithm reusing the Scratch's
-// buffers; semantics match the package-level Execute.
-func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
+// plan runs phase 1 (placement, validated) and materializes the
+// phase-2 priority order into the Scratch's buffers. It is the shared
+// front half of Execute and ExecuteOpen.
+func (s *Scratch) plan(in *task.Instance, a Algorithm) (*placement.Placement, error) {
 	p := &s.place
 	if ip, ok := a.(intoPlacer); ok {
 		buf, err := ip.placeInto(in, p, s.placeOrder[:0])
@@ -145,8 +173,17 @@ func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
 	} else {
 		s.order = a.Order(in)
 	}
+	return p, nil
+}
+
+// Execute runs both phases of the algorithm reusing the Scratch's
+// buffers; semantics match the package-level Execute.
+func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
+	p, err := s.plan(in, a)
+	if err != nil {
+		return nil, err
+	}
 	var res *sim.Result
-	var err error
 	if s.Engine == sim.EngineFlat {
 		workers := s.SimWorkers
 		if workers == 0 {
@@ -172,6 +209,46 @@ func (s *Scratch) Execute(in *task.Instance, a Algorithm) (*Result, error) {
 		Makespan:  res.Schedule.Makespan(),
 	}
 	return &s.res, nil
+}
+
+// ExecuteOpen runs phase 1 of the algorithm and replays the arrival
+// stream through the open-system simulator, reusing the Scratch's
+// buffers. The Engine field selects the simulator exactly as in
+// Execute: sim.EngineFlat routes through the data-oriented
+// FlatOpenRunner (sharded by replica-set connectivity, SimWorkers
+// controlling parallelism), the default through the float64 event-heap
+// OpenRunner. The two agree on every dispatch decision; flat times are
+// nanotick-quantized. The schedule is not re-verified here: open-mode
+// durations may come from opts.Duration, which sched.Verify (actual
+// times only) cannot check.
+//
+// Ownership matches Execute: the returned OpenResult is valid only
+// until the Scratch's next call.
+func (s *Scratch) ExecuteOpen(in *task.Instance, a Algorithm, arrive []float64,
+	opts sim.OpenOptions) (*OpenResult, error) {
+	p, err := s.plan(in, a)
+	if err != nil {
+		return nil, err
+	}
+	var res *sim.OpenResult
+	if s.Engine == sim.EngineFlat {
+		workers := s.SimWorkers
+		if workers == 0 {
+			workers = 1
+		}
+		res, err = s.flatOpen.RunSharded(in, p, s.order, arrive, opts, workers)
+	} else {
+		res, err = s.open.Run(in, p, s.order, arrive, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: open simulation: %w", a.Name(), err)
+	}
+	s.openRes = OpenResult{
+		Algorithm: a.Name(),
+		Placement: p,
+		Open:      res,
+	}
+	return &s.openRes, nil
 }
 
 // lptOrder returns task IDs sorted by non-increasing estimate, ties

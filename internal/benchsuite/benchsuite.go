@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/opt"
+	"repro/internal/placement"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -151,33 +152,72 @@ func simLoopEventSpec(n int) Spec {
 	}
 }
 
-// openSimLoopSpec benchmarks the open-system event loop: Poisson
+// openSimLoopInputs builds the shared open-system workload: Poisson
 // arrivals, replicate-everywhere placement, and cancel-on-completion
 // racing — the heaviest configuration (every machine queues every
-// task, and each completion scans for replicas to cancel). Placement,
-// order, and the arrival stream are computed once outside the timer,
-// so the measured region is exactly the pooled OpenRunner replay.
+// task, and each completion scans for replicas to cancel).
+func openSimLoopInputs(b *testing.B, n int) (*task.Instance, *placement.Placement,
+	[]int, []float64, sim.OpenOptions) {
+	in := scalingInstance(n)
+	a := algo.LPTNoRestriction()
+	p, err := a.Place(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	order := a.Order(in)
+	arrive := workload.MustArrivals(n, workload.ArrivalSpec{
+		Process: "poisson",
+		Rate:    float64(in.M) / 4,
+		Seed:    3,
+	})
+	opts := sim.OpenOptions{Policy: sim.CancelOnCompletion, CancelCost: 0.1}
+	return in, p, order, arrive, opts
+}
+
+// openSimLoopSpec benchmarks the open-system loop on the flat engine:
+// placement, order, and the arrival stream are computed once outside
+// the timer, so the measured region is exactly state rebuild + wheel
+// replay (sequential workers, as in simLoopSpec, so the number is
+// per-core). Replicate-everywhere makes the whole cluster one uniform
+// shard — the shared-position-heap path — which is the ≥1.5M tasks/s,
+// 0 allocs/op target BENCH_10.json gates. The event-heap reference
+// keeps its own floor via OpenSimLoopEvent below.
 func openSimLoopSpec(n int) Spec {
 	return Spec{
 		Name:  "OpenSimLoop/n=10k",
 		Tasks: n,
 		Run: func(b *testing.B) {
-			in := scalingInstance(n)
-			a := algo.LPTNoRestriction()
-			p, err := a.Place(in)
-			if err != nil {
-				b.Fatal(err)
-			}
-			order := a.Order(in)
-			arrive := workload.MustArrivals(n, workload.ArrivalSpec{
-				Process: "poisson",
-				Rate:    float64(in.M) / 4,
-				Seed:    3,
-			})
-			opts := sim.OpenOptions{Policy: sim.CancelOnCompletion, CancelCost: 0.1}
-			var runner sim.OpenRunner
+			in, p, order, arrive, opts := openSimLoopInputs(b, n)
+			var runner sim.FlatOpenRunner
 			// Untimed warm-up pass, as in simLoopSpec: grow the pooled
 			// buffers so the timed region measures the steady state.
+			if _, err := runner.RunSharded(in, p, order, arrive, opts, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.RunSharded(in, p, order, arrive, opts, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "tasks/s")
+		},
+	}
+}
+
+// openSimLoopEventSpec keeps the float event-heap open loop measured:
+// OpenRunner remains the differential reference for the flat open
+// engine, so its regressions still matter. Same inputs as OpenSimLoop;
+// the per-machine sorted-insert position queues make it quadratic in
+// queue depth, which is exactly the gap the flat engine closes.
+func openSimLoopEventSpec(n int) Spec {
+	return Spec{
+		Name:  "OpenSimLoopEvent/n=10k",
+		Tasks: n,
+		Run: func(b *testing.B) {
+			in, p, order, arrive, opts := openSimLoopInputs(b, n)
+			var runner sim.OpenRunner
 			if _, err := runner.Run(in, p, order, arrive, opts); err != nil {
 				b.Fatal(err)
 			}
@@ -251,6 +291,7 @@ func Curated() []Spec {
 		simLoopSpec(100_000),
 		simLoopEventSpec(100_000),
 		openSimLoopSpec(10_000),
+		openSimLoopEventSpec(10_000),
 		estimateWarmSpec(),
 		experimentSpec("e2"),
 		frontTierSpec(32, 6),

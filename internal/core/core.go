@@ -230,6 +230,7 @@ type Runner struct {
 	scratch algo.Scratch
 	actuals []float64
 	out     Outcome
+	openOut OpenOutcome
 }
 
 // Run plans and executes in one call, reusing the Runner's buffers.
@@ -277,6 +278,70 @@ func (r *Runner) score(in *task.Instance, cfg Config, res *algo.Result) (*Outcom
 		r.out.RatioUpper = res.Makespan / optimum.Lower
 	}
 	return &r.out, nil
+}
+
+// OpenConfig parameterizes RunOpenSystem: a strategy configuration
+// plus the open-system serving knobs of sim.OpenOptions.
+type OpenConfig struct {
+	Config
+	// Policy selects the replica cancellation policy.
+	Policy sim.CancelPolicy
+	// CancelCost is the machine-time penalty per cancelled running
+	// replica (CancelOnCompletion only).
+	CancelCost float64
+	// Duration, when non-nil, overrides executed replica durations —
+	// the hook for machine-dependent straggler models. Same contract as
+	// sim.OpenOptions.Duration.
+	Duration func(taskID, machine int) float64
+}
+
+// OpenOutcome is an executed open-system run. Unlike Outcome it is not
+// scored against the offline makespan optimum: the open-system metric
+// is the response-time distribution, which has no single-scalar
+// analytic guarantee in the paper's framework.
+type OpenOutcome struct {
+	// Algorithm names the executed algorithm.
+	Algorithm string
+	// Placement is the phase-1 decision.
+	Placement *placement.Placement
+	// Result carries responses, the winning-replica schedule, and the
+	// cancellation accounting.
+	Result *sim.OpenResult
+}
+
+// RunOpenSystem plans a placement with the configured strategy and
+// serves the arrival stream through the open-system simulator
+// (cfg.Engine selects the event-heap reference or the flat
+// data-oriented engine). The returned OpenOutcome is freshly allocated
+// and caller-owned; trial loops should reuse a Runner.
+func RunOpenSystem(in *task.Instance, arrive []float64, cfg OpenConfig) (*OpenOutcome, error) {
+	var r Runner // fresh state: the returned Outcome is caller-owned
+	return r.RunOpenSystem(in, arrive, cfg)
+}
+
+// RunOpenSystem is the pooled form of the package-level RunOpenSystem;
+// the returned OpenOutcome is owned by the Runner and valid only until
+// its next call.
+func (r *Runner) RunOpenSystem(in *task.Instance, arrive []float64, cfg OpenConfig) (*OpenOutcome, error) {
+	a, err := cfg.algorithm()
+	if err != nil {
+		return nil, err
+	}
+	r.scratch.Engine, r.scratch.SimWorkers = cfg.Engine, cfg.SimWorkers
+	res, err := r.scratch.ExecuteOpen(in, a, arrive, sim.OpenOptions{
+		Policy:     cfg.Policy,
+		CancelCost: cfg.CancelCost,
+		Duration:   cfg.Duration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.openOut = OpenOutcome{
+		Algorithm: res.Algorithm,
+		Placement: res.Placement,
+		Result:    res.Open,
+	}
+	return &r.openOut, nil
 }
 
 // Compare runs several configurations on the same instance and

@@ -11,6 +11,73 @@ import (
 	"repro/internal/workload"
 )
 
+// TestOpenSystemEngines runs the open-system pipeline on both
+// simulator engines across strategies and cancellation policies:
+// winning machines and cancellation counts must be identical, response
+// times within the accumulated nanotick quantization, and the flat
+// engine byte-identical with itself at every worker count.
+func TestOpenSystemEngines(t *testing.T) {
+	in := workload.MustNew(workload.Spec{Name: "zipf", N: 80, M: 12, Alpha: 1.8, Seed: 5})
+	uncertainty.Uniform{}.Perturb(in, nil, rng.New(55))
+	arrive := workload.MustArrivals(in.N(), workload.ArrivalSpec{
+		Process: "poisson", Rate: float64(in.M) / 3, Seed: 9,
+	})
+	cfgs := []OpenConfig{
+		{Config: Config{Strategy: NoReplication}},
+		{Config: Config{Strategy: ReplicateEverywhere}, Policy: sim.CancelOnCompletion, CancelCost: 0.25},
+		{Config: Config{Strategy: Groups, Groups: 4}, Policy: sim.CancelOnStart},
+		{Config: Config{Strategy: Groups, Groups: 4}, Policy: sim.CancelOnCompletion, CancelCost: 0.5},
+	}
+	eps := 1e-9 * float64(in.N()+1)
+	for _, cfg := range cfgs {
+		want, err := RunOpenSystem(in, arrive, cfg)
+		if err != nil {
+			t.Fatalf("%v/%v: event engine: %v", cfg.Strategy, cfg.Policy, err)
+		}
+		flatCfg := cfg
+		flatCfg.Engine = sim.EngineFlat
+		got, err := RunOpenSystem(in, arrive, flatCfg)
+		if err != nil {
+			t.Fatalf("%v/%v: flat engine: %v", cfg.Strategy, cfg.Policy, err)
+		}
+		if got.Result.CancelledReplicas != want.Result.CancelledReplicas {
+			t.Fatalf("%v/%v: cancelled %d vs %d across engines", cfg.Strategy, cfg.Policy,
+				got.Result.CancelledReplicas, want.Result.CancelledReplicas)
+		}
+		for j := range want.Result.Responses {
+			ga, wa := got.Result.Schedule.Assignments[j], want.Result.Schedule.Assignments[j]
+			if ga.Machine != wa.Machine {
+				t.Fatalf("%v/%v: task %d machine %d vs %d across engines",
+					cfg.Strategy, cfg.Policy, j, ga.Machine, wa.Machine)
+			}
+			if math.Abs(got.Result.Responses[j]-want.Result.Responses[j]) > eps {
+				t.Fatalf("%v/%v: task %d response drifts beyond %v across engines",
+					cfg.Strategy, cfg.Policy, j, eps)
+			}
+		}
+		if math.Abs(got.Result.WastedTime-want.Result.WastedTime) > eps*float64(in.N()) {
+			t.Fatalf("%v/%v: wasted time %v vs %v", cfg.Strategy, cfg.Policy,
+				got.Result.WastedTime, want.Result.WastedTime)
+		}
+		// Worker count must be invisible: byte-identical flat outcomes.
+		for _, workers := range []int{2, 8, -1} {
+			wcfg := flatCfg
+			wcfg.SimWorkers = workers
+			wout, err := RunOpenSystem(in, arrive, wcfg)
+			if err != nil {
+				t.Fatalf("%v/%v workers=%d: %v", cfg.Strategy, cfg.Policy, workers, err)
+			}
+			if !reflect.DeepEqual(wout.Result.Responses, got.Result.Responses) ||
+				!reflect.DeepEqual(wout.Result.Schedule.Assignments, got.Result.Schedule.Assignments) ||
+				wout.Result.WastedTime != got.Result.WastedTime ||
+				wout.Result.CancelledReplicas != got.Result.CancelledReplicas {
+				t.Fatalf("%v/%v: SimWorkers=%d changes the flat open outcome",
+					cfg.Strategy, cfg.Policy, workers)
+			}
+		}
+	}
+}
+
 // TestFlatEngineMatchesEventEngine runs every strategy through the
 // full pipeline on both simulator engines: dispatch decisions must be
 // identical, times within the accumulated nanotick quantization, and

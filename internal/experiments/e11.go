@@ -75,9 +75,17 @@ func e11Straggler(in *task.Instance, seed uint64, prob, slowFactor float64) func
 }
 
 func (e11) Run(w io.Writer, opts Options) error {
-	trials, n, m := 12, 240, 8
+	// Sized for the flat open engine (sim.FlatOpenRunner): 10× the
+	// tasks and twice the machines of the event-engine original, with a
+	// finer load grid — the sweep the engine's ~100× throughput win
+	// bought (see DESIGN.md's open-flat-core section and BENCH_10.json).
+	trials, n, m := 12, 2_400, 16
+	ploads := []float64{0.15, 0.3, 0.5, 0.7}
+	mloads := []float64{0.15, 0.5}
 	if opts.Quick {
-		trials, n, m = 3, 80, 4
+		trials, n, m = 3, 240, 8
+		ploads = []float64{0.15, 0.5}
+		mloads = []float64{0.15}
 	}
 	const (
 		cancelCost = 0.5
@@ -86,14 +94,17 @@ func (e11) Run(w io.Writer, opts Options) error {
 	)
 	src := rng.New(opts.Seed + 1111)
 
-	scenarios := []struct {
+	type scenario struct {
 		label   string
 		process string
 		load    float64 // arrival rate as a fraction of system capacity
-	}{
-		{"poisson, load 0.15", "poisson", 0.15},
-		{"poisson, load 0.5", "poisson", 0.5},
-		{"mmpp (bursty), load 0.15", "mmpp", 0.15},
+	}
+	scenarios := make([]scenario, 0, len(ploads)+len(mloads))
+	for _, l := range ploads {
+		scenarios = append(scenarios, scenario{fmt.Sprintf("poisson, load %.2g", l), "poisson", l})
+	}
+	for _, l := range mloads {
+		scenarios = append(scenarios, scenario{fmt.Sprintf("mmpp (bursty), load %.2g", l), "mmpp", l})
 	}
 	variants := e11Variants(m)
 
@@ -123,6 +134,10 @@ func (e11) Run(w io.Writer, opts Options) error {
 		err   error
 	}
 	outs := par.Map(trials, opts.Workers, func(trial int) trialOut {
+		// One flat runner per trial goroutine: every (scenario, variant)
+		// run reuses its pooled buffers, and the trial fan-out already
+		// saturates the cores, so the inner engine runs sequentially.
+		var runner sim.FlatOpenRunner
 		res := trialOut{cells: make([][]cellOut, len(scenarios))}
 		in := workload.MustNew(workload.Spec{
 			Name: "uniform", N: n, M: m, Alpha: 1.5, Seed: seeds[trial].base,
@@ -155,11 +170,11 @@ func (e11) Run(w io.Writer, opts Options) error {
 					res.err = err
 					return res
 				}
-				out, err := sim.RunOpen(in, p, v.algo.Order(in), arrive, sim.OpenOptions{
+				out, err := runner.RunSharded(in, p, v.algo.Order(in), arrive, sim.OpenOptions{
 					Policy:     v.policy,
 					CancelCost: cancelCost,
 					Duration:   dur,
-				})
+				}, 1)
 				if err != nil {
 					res.err = err
 					return res

@@ -72,3 +72,65 @@ func coldError(fail bool) error {
 	}
 	return nil
 }
+
+// The remainder mirrors the shape of the simulator's open replay loop
+// (FlatOpenRunner.replaySpan): an annotated method whose obligation
+// flows through method calls and pointer-threaded scratch slices, with
+// value-struct event pushes and cohort merges that must stay allowed,
+// a lazy first-use init behind the escape hatch, and a per-call make
+// that must still be caught through the method chain.
+
+type event struct {
+	t int64
+	m int32
+}
+
+type cohort struct {
+	t    int64
+	mask uint64
+}
+
+type replayRunner struct {
+	wheel  []event
+	parks  []cohort
+	lookup []int32
+}
+
+//perf:hotpath
+func (r *replayRunner) replaySpan(ts []int64) int {
+	r.ensureLookup(len(ts))
+	for _, t := range ts {
+		// Value literal into an append: the allowed steady-state push.
+		r.wheel = append(r.wheel, event{t: t, m: int32(len(r.wheel))})
+		r.parks = parkMerge(r.parks, t, 1)
+	}
+	return len(r.wheel) + r.scratch()
+}
+
+// parkMerge is reachable from the seed; its append reuses capacity in
+// the steady state, so it carries no finding.
+func parkMerge(parks []cohort, t int64, mask uint64) []cohort {
+	for i := range parks {
+		if parks[i].t == t {
+			parks[i].mask |= mask
+			return parks
+		}
+	}
+	return append(parks, cohort{t: t, mask: mask})
+}
+
+// ensureLookup allocates only on a runner's first use, behind the
+// escape hatch — the wheel's lazy ring init uses the same shape.
+func (r *replayRunner) ensureLookup(n int) {
+	if r.lookup == nil {
+		//lint:ignore hotalloc one-time lazy init; steady-state calls reuse it
+		r.lookup = make([]int32, n)
+	}
+}
+
+// scratch allocates on every call and is reachable from the annotated
+// method: the finding must name the method seed.
+func (r *replayRunner) scratch() int {
+	tmp := make([]int, 4) // want "hotalloc: make in hot path .reachable from //perf:hotpath replaySpan."
+	return len(tmp)
+}

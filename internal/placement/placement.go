@@ -252,11 +252,31 @@ func (p *Placement) validateGroups() error {
 		return fmt.Errorf("%w: GroupOf has %d entries for %d tasks",
 			ErrGroupMapping, len(p.GroupOf), len(p.Sets))
 	}
+	// Sets are ascending (CheckSets), and groups from the partition
+	// constructors are too, so the per-task set-vs-group comparison is
+	// a direct walk. A group stored unsorted (legal for hand-built
+	// placements) gets one sorted copy — once per group, not once per
+	// task, which used to dominate the allocation profile of
+	// group-strategy runs (n allocations per Validate at n tasks).
+	var sorted [][]int // lazily built, only when some group is unsorted
 	for j, g := range p.GroupOf {
 		if g < 0 || g >= len(p.Groups) {
 			return fmt.Errorf("%w: task %d group %d", ErrGroupMapping, j, g)
 		}
-		if !equalSets(p.Sets[j], p.Groups[g]) {
+		ref := p.Groups[g]
+		if !sort.IntsAreSorted(ref) {
+			if sorted == nil {
+				sorted = make([][]int, len(p.Groups))
+			}
+			if sorted[g] == nil {
+				bs := make([]int, len(ref))
+				copy(bs, ref)
+				sort.Ints(bs)
+				sorted[g] = bs
+			}
+			ref = sorted[g]
+		}
+		if !equalAscending(p.Sets[j], ref) {
 			return fmt.Errorf("%w: task %d", ErrGroupMapping, j)
 		}
 	}
@@ -273,15 +293,13 @@ func (p *Placement) CheckBound(k int) error {
 	return nil
 }
 
-func equalSets(a, b []int) bool {
+// equalAscending compares two ascending machine lists element-wise.
+func equalAscending(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	bs := make([]int, len(b))
-	copy(bs, b)
-	sort.Ints(bs)
 	for i := range a {
-		if a[i] != bs[i] {
+		if a[i] != b[i] {
 			return false
 		}
 	}

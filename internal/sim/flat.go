@@ -103,7 +103,6 @@ type FlatRunner struct {
 	// SoA task state.
 	durTick    []tick.Tick
 	started    []bool
-	taskShard  []int32
 	priorityOf []int32 // failure mode: position of task in the order
 
 	// CSR per-machine queues.
@@ -111,27 +110,22 @@ type FlatRunner struct {
 	qOff   []int32
 	head   []int32
 
-	// Shard decomposition.
-	parent        []int32 // union-find scratch over machines
-	shardOf       []int32
-	shardMachines []int32
-	shardOff      []int32
-	shardTaskOff  []int32
-	nShards       int
+	// Shard decomposition (shardOf, shardMachines, taskShard, …),
+	// shared with FlatOpenRunner.
+	shardSet
 
 	// Per-shard outcome slots, written by exactly one worker each.
 	shardStarted []int32
 	shardErrs    []spanError
 
 	// Failure-mode state, sized only when Failures are present.
-	dead       []bool
-	dormant    []bool
-	dormantAt  []tick.Tick
-	runTask    []int32
-	runEnd     []tick.Tick
-	completed  []bool
-	shardTasks []int32
-	crashes    []mEvent
+	dead      []bool
+	dormant   []bool
+	dormantAt []tick.Tick
+	runTask   []int32
+	runEnd    []tick.Tick
+	completed []bool
+	crashes   []mEvent
 
 	// Per-worker event-loop scratch.
 	scratch []flatScratch
@@ -153,17 +147,11 @@ type FlatRunner struct {
 func (r *FlatRunner) Reset(n, m int) {
 	r.durTick = r.durTick[:0]
 	r.started = r.started[:0]
-	r.taskShard = r.taskShard[:0]
 	r.priorityOf = r.priorityOf[:0]
 	r.qTasks = r.qTasks[:0]
 	r.qOff = r.qOff[:0]
 	r.head = r.head[:0]
-	r.parent = r.parent[:0]
-	r.shardOf = r.shardOf[:0]
-	r.shardMachines = r.shardMachines[:0]
-	r.shardOff = r.shardOff[:0]
-	r.shardTaskOff = r.shardTaskOff[:0]
-	r.nShards = 0
+	r.shardSet.reset()
 	r.shardStarted = r.shardStarted[:0]
 	r.shardErrs = r.shardErrs[:0]
 	r.dead = r.dead[:0]
@@ -172,7 +160,6 @@ func (r *FlatRunner) Reset(n, m int) {
 	r.runTask = r.runTask[:0]
 	r.runEnd = r.runEnd[:0]
 	r.completed = r.completed[:0]
-	r.shardTasks = r.shardTasks[:0]
 	r.crashes = r.crashes[:0]
 	r.scratch = r.scratch[:0] // backing entries (and their buffers) are reused
 	r.opts = FlatOptions{}
@@ -373,13 +360,7 @@ func (r *FlatRunner) prepare(in *task.Instance, p *placement.Placement, order []
 
 	// Per-shard task counts → trace regions and (failure mode) task
 	// lists.
-	r.shardTaskOff = growI32Zero(r.shardTaskOff, r.nShards+1)
-	for j := 0; j < n; j++ {
-		r.shardTaskOff[r.taskShard[j]+1]++
-	}
-	for s := 0; s < r.nShards; s++ {
-		r.shardTaskOff[s+1] += r.shardTaskOff[s]
-	}
+	r.buildTaskOffsets(n)
 	r.shardStarted = growI32Zero(r.shardStarted, r.nShards)
 	r.shardErrs = growSpanErr(r.shardErrs, r.nShards)
 
@@ -421,15 +402,8 @@ func (r *FlatRunner) prepareFailures(in *task.Instance, order []int, opts *FlatO
 		r.priorityOf[j] = int32(pos)
 	}
 	// shardTasks: tasks grouped by shard (CSR with shardTaskOff), for
-	// the per-crash strand checks. shardStarted is borrowed as the fill
-	// cursor and re-zeroed — spans have not run yet.
-	r.shardTasks = growI32(r.shardTasks, n)
-	for j := 0; j < n; j++ {
-		s := r.taskShard[j]
-		r.shardTasks[r.shardTaskOff[s]+r.shardStarted[s]] = int32(j)
-		r.shardStarted[s]++
-	}
-	clear(r.shardStarted)
+	// the per-crash strand checks.
+	r.buildTaskLists(n)
 
 	r.dead = growBoolZero(r.dead, m)
 	r.dormant = growBoolZero(r.dormant, m)
@@ -470,9 +444,22 @@ func growI32Zero(s []int32, n int) []int32 {
 	return s
 }
 
-func growBoolZero(s []bool, n int) []bool {
+func growBool(s []bool, n int) []bool {
 	if cap(s) < n {
 		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growBoolZero(s []bool, n int) []bool {
+	s = growBool(s, n)
+	clear(s)
+	return s
+}
+
+func growU32Zero(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
 	}
 	s = s[:n]
 	clear(s)

@@ -1,0 +1,503 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/placement"
+	"repro/internal/rng"
+	"repro/internal/task"
+	"repro/internal/tick"
+	"repro/internal/workload"
+)
+
+// openArrivalSpecs is the arrival-process axis of the open
+// differential matrix: memoryless, bursty, and replayed-trace traffic.
+func openArrivalSpecs(n, m int, seed uint64) []struct {
+	name string
+	arr  []float64
+} {
+	traceTimes := make([]float64, n)
+	r := rng.New(seed ^ 0x7ace)
+	t := 0.0
+	for i := range traceTimes {
+		t += r.Float64() * 0.8
+		traceTimes[i] = t
+	}
+	rate := float64(m) / 4
+	return []struct {
+		name string
+		arr  []float64
+	}{
+		{"poisson", workload.MustArrivals(n, workload.ArrivalSpec{
+			Process: "poisson", Rate: rate, Seed: seed})},
+		{"mmpp", workload.MustArrivals(n, workload.ArrivalSpec{
+			Process: "mmpp", Rate: rate, Seed: seed + 1})},
+		{"trace", workload.MustArrivals(n, workload.ArrivalSpec{
+			Process: "trace", Times: traceTimes})},
+	}
+}
+
+func openPolicyOptions() []OpenOptions {
+	return []OpenOptions{
+		{Policy: CancelOnStart},
+		{Policy: CancelOnCompletion, CancelCost: 0.25},
+		// Zero cancellation cost makes cancelled losers wake at the very
+		// tick the winner completed — the same-tick re-dispatch ordering
+		// that keeps this configuration off the race-collapse fast path
+		// and on the wheel loop, pinning that fallback.
+		{Policy: CancelOnCompletion},
+	}
+}
+
+func requireSameOpenResult(t *testing.T, label string, got, want *OpenResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Schedule.Assignments, want.Schedule.Assignments) {
+		t.Fatalf("%s: schedule diverges", label)
+	}
+	if !reflect.DeepEqual(got.Responses, want.Responses) {
+		t.Fatalf("%s: responses diverge", label)
+	}
+	if got.CancelledReplicas != want.CancelledReplicas {
+		t.Fatalf("%s: cancelled %d, want %d", label, got.CancelledReplicas, want.CancelledReplicas)
+	}
+	if got.WastedTime != want.WastedTime {
+		t.Fatalf("%s: wasted %v, want %v", label, got.WastedTime, want.WastedTime)
+	}
+	if got.End != want.End {
+		t.Fatalf("%s: end %v, want %v", label, got.End, want.End)
+	}
+}
+
+// TestFlatOpenShardedMatchesRun is the open-mode worker-count
+// differential: RunSharded at every worker count is byte-identical —
+// response by response, assignment by assignment, waste to the last
+// bit — to the sequential flat open Run, across the placement ×
+// arrival-process × cancel-policy matrix.
+func TestFlatOpenShardedMatchesRun(t *testing.T) {
+	for _, c := range flatCases(t) {
+		n, m := c.in.N(), c.in.M
+		for _, arr := range openArrivalSpecs(n, m, 40) {
+			for _, opts := range openPolicyOptions() {
+				label := c.name + "/" + arr.name + "/" + opts.Policy.String()
+				want, err := RunFlatOpen(c.in, c.p, c.order, arr.arr, opts)
+				if err != nil {
+					t.Fatalf("%s: Run: %v", label, err)
+				}
+				for _, w := range flatWorkerCounts() {
+					got, err := RunFlatOpenSharded(c.in, c.p, c.order, arr.arr, opts, w)
+					if err != nil {
+						t.Fatalf("%s/workers=%d: RunSharded: %v", label, w, err)
+					}
+					requireSameOpenResult(t, label+"/workers="+itoa(w), got, want)
+				}
+			}
+		}
+	}
+}
+
+// openExactInstance builds whole-second estimates and actuals, exact
+// in both float64 and ticks, so the flat and float open engines make
+// identical decisions and report identical times.
+func openExactInstance(t *testing.T, n, m int, seed uint64) *task.Instance {
+	t.Helper()
+	est := make([]float64, n)
+	act := make([]float64, n)
+	r := rng.New(seed)
+	for j := range act {
+		act[j] = float64(1 + r.Intn(9))
+		est[j] = float64(1 + r.Intn(9))
+	}
+	in, err := task.New(m, 9, est, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// openExactArrivals draws non-decreasing whole-second arrivals.
+func openExactArrivals(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	arr := make([]float64, n)
+	t := 0.0
+	for i := range arr {
+		t += float64(r.Intn(3))
+		arr[i] = t
+	}
+	return arr
+}
+
+// TestFlatOpenMatchesEventEngineExact pins the flat open engine to the
+// reference OpenRunner byte-for-byte on integer durations, arrivals
+// and cancel cost, where tick quantization is exact — same replica
+// wins, same responses, same waste — across both policies, all
+// placement families, and every worker count. This is the open-mode
+// cross-engine golden equivalence the issue's acceptance criteria
+// name.
+func TestFlatOpenMatchesEventEngineExact(t *testing.T) {
+	shapes := []struct {
+		n, m, k int
+		seed    uint64
+	}{{40, 8, 2, 51}, {55, 10, 5, 52}, {24, 6, 3, 53}}
+	for _, s := range shapes {
+		in := openExactInstance(t, s.n, s.m, s.seed)
+		order := lptOrder(in)
+		arrive := openExactArrivals(s.n, s.seed+9)
+		placements := []struct {
+			name string
+			p    *placement.Placement
+		}{
+			{"none", nonePlacement(s.n, s.m, s.seed)},
+			{"group", groupPlacement(t, s.n, s.m, s.k, s.seed)},
+			{"all", placement.Everywhere(s.n, s.m)},
+			{"mixed", mixedPlacement(s.n, s.m, s.seed)},
+		}
+		for _, pc := range placements {
+			for _, opts := range []OpenOptions{
+				{Policy: CancelOnStart},
+				{Policy: CancelOnCompletion, CancelCost: 1},
+				{Policy: CancelOnCompletion, CancelCost: 0},
+			} {
+				label := pc.name + "/" + opts.Policy.String()
+				want, err := RunOpen(in, pc.p, order, arrive, opts)
+				if err != nil {
+					t.Fatalf("%s: event engine: %v", label, err)
+				}
+				for _, w := range flatWorkerCounts() {
+					got, err := RunFlatOpenSharded(in, pc.p, order, arrive, opts, w)
+					if err != nil {
+						t.Fatalf("%s/workers=%d: flat engine: %v", label, w, err)
+					}
+					requireSameOpenResult(t, label+"/workers="+itoa(w), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatOpenMatchesEventEngineEpsilon compares the engines on
+// continuous durations and arrivals, where ticks quantize: decisions
+// (winning machine, cancellation count) must still agree and every
+// reported time must sit within the accumulated quantization bound.
+func TestFlatOpenMatchesEventEngineEpsilon(t *testing.T) {
+	for _, c := range flatCases(t) {
+		n, m := c.in.N(), c.in.M
+		for _, arr := range openArrivalSpecs(n, m, 77) {
+			for _, opts := range openPolicyOptions() {
+				label := c.name + "/" + arr.name + "/" + opts.Policy.String()
+				want, err := RunOpen(c.in, c.p, c.order, arr.arr, opts)
+				if err != nil {
+					t.Fatalf("%s: event engine: %v", label, err)
+				}
+				got, err := RunFlatOpen(c.in, c.p, c.order, arr.arr, opts)
+				if err != nil {
+					t.Fatalf("%s: flat engine: %v", label, err)
+				}
+				// ≤ 0.5e-9 quantization per summed duration in a machine's
+				// chain of at most n tasks, plus float slack for the
+				// reference's own sums.
+				eps := 1e-9 * float64(n+1)
+				if got.CancelledReplicas != want.CancelledReplicas {
+					t.Fatalf("%s: cancelled %d, event engine %d",
+						label, got.CancelledReplicas, want.CancelledReplicas)
+				}
+				if math.Abs(got.WastedTime-want.WastedTime) > eps*float64(want.CancelledReplicas+1) {
+					t.Fatalf("%s: wasted %v, event engine %v", label, got.WastedTime, want.WastedTime)
+				}
+				if math.Abs(got.End-want.End) > eps {
+					t.Fatalf("%s: end %v, event engine %v", label, got.End, want.End)
+				}
+				for j, ga := range got.Schedule.Assignments {
+					wa := want.Schedule.Assignments[j]
+					if ga.Machine != wa.Machine {
+						t.Fatalf("%s: task %d won on machine %d, event engine chose %d",
+							label, j, ga.Machine, wa.Machine)
+					}
+					if math.Abs(ga.Start-wa.Start) > eps || math.Abs(ga.End-wa.End) > eps {
+						t.Fatalf("%s: task %d times (%v,%v) drift from (%v,%v) beyond %v",
+							label, j, ga.Start, ga.End, wa.Start, wa.End, eps)
+					}
+					if math.Abs(got.Responses[j]-want.Responses[j]) > eps {
+						t.Fatalf("%s: task %d response %v drifts from %v",
+							label, j, got.Responses[j], want.Responses[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatOpenMatchesBatch extends the open mode's metamorphic anchor
+// to the flat engine: with every arrival at t=0 and CancelOnStart, the
+// flat open simulator reproduces the batch flat simulator's schedule
+// byte-for-byte — at every worker count.
+func TestFlatOpenMatchesBatch(t *testing.T) {
+	for _, c := range flatCases(t) {
+		batch, err := RunFlat(c.in, c.p, c.order, FlatOptions{})
+		if err != nil {
+			t.Fatalf("%s: batch: %v", c.name, err)
+		}
+		arrive := make([]float64, c.in.N())
+		for _, w := range flatWorkerCounts() {
+			open, err := RunFlatOpenSharded(c.in, c.p, c.order, arrive,
+				OpenOptions{Policy: CancelOnStart}, w)
+			if err != nil {
+				t.Fatalf("%s/workers=%d: open: %v", c.name, w, err)
+			}
+			if !reflect.DeepEqual(open.Schedule.Assignments, batch.Schedule.Assignments) {
+				t.Fatalf("%s/workers=%d: open schedule diverged from batch", c.name, w)
+			}
+			if open.CancelledReplicas != 0 || open.WastedTime != 0 {
+				t.Fatalf("%s/workers=%d: cancel-on-start wasted work: %d replicas, %v time",
+					c.name, w, open.CancelledReplicas, open.WastedTime)
+			}
+			for j, a := range batch.Schedule.Assignments {
+				if open.Responses[j] != a.End {
+					t.Fatalf("%s/workers=%d: task %d response %v != completion %v",
+						c.name, w, j, open.Responses[j], a.End)
+				}
+			}
+		}
+	}
+}
+
+// TestFlatOpenCancelledMachineResumes pins the cancellation semantics
+// on the hand-worked scenario of TestOpenCancelledMachineResumes,
+// through both the general path (mixed sets) and a Duration hook.
+func TestFlatOpenCancelledMachineResumes(t *testing.T) {
+	in := &task.Instance{M: 2, Alpha: 1, Tasks: []task.Task{
+		{ID: 0, Estimate: 8, Actual: 8},
+		{ID: 1, Estimate: 4, Actual: 4},
+	}}
+	p := placement.New(2, 2)
+	p.Sets[0] = []int{0, 1}
+	p.Sets[1] = []int{0}
+	dur := func(taskID, machine int) float64 {
+		if taskID == 0 && machine == 1 {
+			return 2
+		}
+		return in.Tasks[taskID].Actual
+	}
+	res, err := RunFlatOpen(in, p, []int{0, 1}, []float64{0, 1}, OpenOptions{
+		Policy: CancelOnCompletion, CancelCost: 1, Duration: dur,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []float64{2, 6}; !reflect.DeepEqual(res.Responses, want) {
+		t.Fatalf("responses = %v, want %v", res.Responses, want)
+	}
+	if res.CancelledReplicas != 1 || res.WastedTime != 3 {
+		t.Fatalf("waste = %d replicas / %v time, want 1 / 3", res.CancelledReplicas, res.WastedTime)
+	}
+	a := res.Schedule.Assignments[1]
+	if a.Machine != 0 || a.Start != 3 || a.End != 7 {
+		t.Fatalf("task 1 assignment = %+v, want machine 0, 3→7", a)
+	}
+}
+
+// TestFlatOpenReuseMatchesFresh carries one FlatOpenRunner dirty
+// across instances of varying shape: reuse must be invisible in the
+// output.
+func TestFlatOpenReuseMatchesFresh(t *testing.T) {
+	var reused FlatOpenRunner
+	for ci, in := range poolCases(t) {
+		p := groupPlacement(t, in.N(), in.M, 2, uint64(ci)+7)
+		order := lptOrder(in)
+		arrive := workload.MustArrivals(in.N(), workload.ArrivalSpec{
+			Process: "poisson", Rate: float64(in.M) / 3, Seed: 600 + uint64(ci),
+		})
+		opts := OpenOptions{Policy: CancelOnCompletion, CancelCost: 0.25}
+		if ci%2 == 0 {
+			opts = OpenOptions{Policy: CancelOnStart}
+		}
+		got, err := reused.RunSharded(in, p, order, arrive, opts, 2)
+		if err != nil {
+			t.Fatalf("case %d: reused: %v", ci, err)
+		}
+		want, err := RunFlatOpenSharded(in, p, order, arrive, opts, 2)
+		if err != nil {
+			t.Fatalf("case %d: fresh: %v", ci, err)
+		}
+		requireSameOpenResult(t, "reuse case "+itoa(ci), got, want)
+	}
+}
+
+// TestFlatOpenZeroSteadyStateAllocs asserts the replay loop's pooling
+// contract directly: after a warm-up run, repeat runs of the same
+// shape allocate nothing. This is the same claim the committed bench
+// baseline pins at n=10k; here it gates small shapes in plain go test.
+func TestFlatOpenZeroSteadyStateAllocs(t *testing.T) {
+	in := openExactInstance(t, 64, 8, 91)
+	p := placement.Everywhere(64, 8)
+	order := lptOrder(in)
+	arrive := openExactArrivals(64, 92)
+	opts := OpenOptions{Policy: CancelOnCompletion, CancelCost: 1}
+	var r FlatOpenRunner
+	if _, err := r.RunSharded(in, p, order, arrive, opts, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.RunSharded(in, p, order, arrive, opts, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state allocs/run = %v, want 0", allocs)
+	}
+}
+
+// TestFlatOpenValidation covers the flat open engine's input
+// rejection: the reference engine's checks (same fragments), plus the
+// flat-only tick-representability and replica-set requirements.
+func TestFlatOpenValidation(t *testing.T) {
+	in := openExactInstance(t, 4, 2, 95)
+	p := placement.Everywhere(4, 2)
+	order := identityOrder(4)
+	arrive := make([]float64, 4)
+	check := func(name, frag string, run func() error) {
+		t.Helper()
+		err := run()
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			return
+		}
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("%s: error %q does not contain %q", name, err, frag)
+		}
+	}
+	check("placement shape", "placement shape", func() error {
+		_, err := RunFlatOpen(in, placement.New(3, 2), order, arrive, OpenOptions{})
+		return err
+	})
+	check("order length", "priority order", func() error {
+		_, err := RunFlatOpen(in, p, []int{0, 1}, arrive, OpenOptions{})
+		return err
+	})
+	check("order not permutation", "not a permutation", func() error {
+		_, err := RunFlatOpen(in, p, []int{0, 1, 2, 2}, arrive, OpenOptions{})
+		return err
+	})
+	check("arrive length", "arrival times", func() error {
+		_, err := RunFlatOpen(in, p, order, []float64{0}, OpenOptions{})
+		return err
+	})
+	check("arrive NaN", "finite", func() error {
+		_, err := RunFlatOpen(in, p, order, []float64{0, math.NaN(), 1, 2}, OpenOptions{})
+		return err
+	})
+	check("arrive unsorted", "not sorted", func() error {
+		_, err := RunFlatOpen(in, p, order, []float64{3, 1, 2, 4}, OpenOptions{})
+		return err
+	})
+	check("arrive overflow", "arrival", func() error {
+		_, err := RunFlatOpen(in, p, order, []float64{0, 1, 2, 1e18}, OpenOptions{})
+		return err
+	})
+	check("negative cancel cost", "cancel cost", func() error {
+		_, err := RunFlatOpen(in, p, order, arrive, OpenOptions{CancelCost: -1})
+		return err
+	})
+	check("unknown policy", "cancel policy", func() error {
+		_, err := RunFlatOpen(in, p, order, arrive, OpenOptions{Policy: CancelPolicy(9)})
+		return err
+	})
+	check("invalid replica set", "machine", func() error {
+		bad := placement.New(4, 2)
+		for j := 0; j < 4; j++ {
+			bad.Sets[j] = []int{0}
+		}
+		bad.Sets[2] = []int{5}
+		_, err := RunFlatOpen(in, bad, order, arrive, OpenOptions{})
+		return err
+	})
+	check("empty replica set", "task 3", func() error {
+		bad := placement.New(4, 2)
+		for j := 0; j < 4; j++ {
+			bad.Sets[j] = []int{0}
+		}
+		bad.Sets[3] = nil
+		_, err := RunFlatOpen(in, bad, order, arrive, OpenOptions{})
+		return err
+	})
+	check("NaN actual", "actual time", func() error {
+		bad := openExactInstance(t, 4, 2, 95)
+		bad.Tasks[1].Actual = math.NaN()
+		_, err := RunFlatOpen(bad, p, order, arrive, OpenOptions{})
+		return err
+	})
+	check("negative actual", "negative actual", func() error {
+		bad := openExactInstance(t, 4, 2, 95)
+		bad.Tasks[2].Actual = -3
+		_, err := RunFlatOpen(bad, p, order, arrive, OpenOptions{})
+		return err
+	})
+	check("hook NaN", "duration hook", func() error {
+		_, err := RunFlatOpen(in, p, order, arrive,
+			OpenOptions{Duration: func(int, int) float64 { return math.NaN() }})
+		return err
+	})
+	check("hook negative", "negative", func() error {
+		_, err := RunFlatOpen(in, p, order, arrive,
+			OpenOptions{Duration: func(int, int) float64 { return -1 }})
+		return err
+	})
+}
+
+// TestFlatOpenHookErrorDeterministicAcrossWorkers checks that a
+// Duration-hook failure surfaces as the same error at every worker
+// count (the min-(time,machine) merge rule).
+func TestFlatOpenHookErrorDeterministicAcrossWorkers(t *testing.T) {
+	in := openExactInstance(t, 30, 6, 97)
+	p := groupPlacement(t, 30, 6, 2, 97)
+	order := lptOrder(in)
+	arrive := openExactArrivals(30, 98)
+	dur := func(j, i int) float64 {
+		if j%7 == 3 {
+			return math.Inf(1)
+		}
+		return in.Tasks[j].Actual
+	}
+	opts := OpenOptions{Policy: CancelOnCompletion, CancelCost: 0.5, Duration: dur}
+	_, wantErr := RunFlatOpen(in, p, order, arrive, opts)
+	if wantErr == nil {
+		t.Fatal("expected a duration-hook error")
+	}
+	for _, w := range flatWorkerCounts() {
+		_, err := RunFlatOpenSharded(in, p, order, arrive, opts, w)
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("workers=%d: err %v, want %v", w, err, wantErr)
+		}
+	}
+}
+
+// TestSatAddScaled pins the race-collapse waste batching against its
+// specification: cnt repeated tick.SatAdds of each, including the
+// clamp-at-Max-and-stay saturation behaviour the differential suite's
+// whole-second inputs never reach.
+func TestSatAddScaled(t *testing.T) {
+	cases := []struct {
+		acc, each tick.Tick
+		cnt       int32
+	}{
+		{0, 5, 3},
+		{17, 0, 4},
+		{17, 9, 0},
+		{tick.Max - 10, 7, 2},
+		{tick.Max - 10, 5, 2}, // lands exactly on Max
+		{tick.Max, 1, 1},
+		{tick.Max / 2, tick.Max / 2, 3},
+		{3, tick.Max, 1},
+	}
+	for _, c := range cases {
+		want := c.acc
+		for k := int32(0); k < c.cnt; k++ {
+			want = tick.SatAdd(want, c.each)
+		}
+		if got := satAddScaled(c.acc, c.each, c.cnt); got != want {
+			t.Errorf("satAddScaled(%d, %d, %d) = %d, want %d", c.acc, c.each, c.cnt, got, want)
+		}
+	}
+}

@@ -63,28 +63,57 @@ func mPop(h []mEvent) ([]mEvent, mEvent) {
 	return h, top
 }
 
+// shardSet is the shard decomposition shared by the flat engines
+// (batch FlatRunner and open-system FlatOpenRunner): the connected
+// components of machines under the "appears in the same replica set"
+// relation, plus the task-side CSR bookkeeping both engines hang their
+// per-shard state on. It is embedded, so runners address the fields
+// directly (r.shardOf, r.taskShard, …).
+type shardSet struct {
+	parent        []int32 // union-find scratch over machines
+	shardOf       []int32
+	shardMachines []int32
+	shardOff      []int32
+	taskShard     []int32
+	shardTaskOff  []int32
+	shardTasks    []int32
+	nShards       int
+}
+
+// reset truncates every slice, retaining capacity.
+func (ss *shardSet) reset() {
+	ss.parent = ss.parent[:0]
+	ss.shardOf = ss.shardOf[:0]
+	ss.shardMachines = ss.shardMachines[:0]
+	ss.shardOff = ss.shardOff[:0]
+	ss.taskShard = ss.taskShard[:0]
+	ss.shardTaskOff = ss.shardTaskOff[:0]
+	ss.shardTasks = ss.shardTasks[:0]
+	ss.nShards = 0
+}
+
 // partition decomposes the placement into shards: the connected
 // components of machines under the "appears in the same replica set"
 // relation. Tasks on different shards share no machines and no
 // replicas, so their simulations are independent — the structural fact
-// the sharded runner exploits and the differential suite verifies.
+// the sharded runners exploit and the differential suites verify.
 //
 // Shard IDs are assigned in order of each component's lowest machine
 // index, so the decomposition (and everything downstream: trace
 // regions, merge order) is a deterministic function of the placement
 // alone. Within a shard, shardMachines is ascending.
-func (r *FlatRunner) partition(p *placement.Placement) {
+func (ss *shardSet) partition(p *placement.Placement) {
 	n, m := p.N(), p.M
-	r.parent = growI32(r.parent, m)
-	for i := range r.parent {
-		r.parent[i] = int32(i)
+	ss.parent = growI32(ss.parent, m)
+	for i := range ss.parent {
+		ss.parent[i] = int32(i)
 	}
 	for j := 0; j < n; j++ {
 		set := p.Sets[j]
-		root := r.find(int32(set[0]))
+		root := ss.find(int32(set[0]))
 		for _, i := range set[1:] {
-			if ri := r.find(int32(i)); ri != root {
-				r.parent[ri] = root
+			if ri := ss.find(int32(i)); ri != root {
+				ss.parent[ri] = root
 			}
 		}
 	}
@@ -93,71 +122,102 @@ func (r *FlatRunner) partition(p *placement.Placement) {
 	// roots, pass 2 propagates the root's label to every member (a
 	// member's slot is only ever written once, and a root's slot only
 	// with its own label, so reads and writes cannot collide).
-	r.shardOf = growI32(r.shardOf, m)
-	for i := range r.shardOf {
-		r.shardOf[i] = -1
+	ss.shardOf = growI32(ss.shardOf, m)
+	for i := range ss.shardOf {
+		ss.shardOf[i] = -1
 	}
 	ns := int32(0)
 	for i := 0; i < m; i++ {
-		if root := r.find(int32(i)); r.shardOf[root] < 0 {
-			r.shardOf[root] = ns
+		if root := ss.find(int32(i)); ss.shardOf[root] < 0 {
+			ss.shardOf[root] = ns
 			ns++
 		}
 	}
 	for i := 0; i < m; i++ {
-		r.shardOf[i] = r.shardOf[r.find(int32(i))]
+		ss.shardOf[i] = ss.shardOf[ss.find(int32(i))]
 	}
-	r.nShards = int(ns)
+	ss.nShards = int(ns)
 
 	// CSR of shard members. parent has served its purpose, so its
 	// prefix is recycled as the per-shard fill cursor.
-	r.shardOff = growI32Zero(r.shardOff, r.nShards+1)
+	ss.shardOff = growI32Zero(ss.shardOff, ss.nShards+1)
 	for i := 0; i < m; i++ {
-		r.shardOff[r.shardOf[i]+1]++
+		ss.shardOff[ss.shardOf[i]+1]++
 	}
-	for s := 0; s < r.nShards; s++ {
-		r.shardOff[s+1] += r.shardOff[s]
+	for s := 0; s < ss.nShards; s++ {
+		ss.shardOff[s+1] += ss.shardOff[s]
 	}
-	cur := r.parent[:r.nShards]
+	cur := ss.parent[:ss.nShards]
 	clear(cur)
-	r.shardMachines = growI32(r.shardMachines, m)
+	ss.shardMachines = growI32(ss.shardMachines, m)
 	for i := 0; i < m; i++ {
-		s := r.shardOf[i]
-		r.shardMachines[r.shardOff[s]+cur[s]] = int32(i)
+		s := ss.shardOf[i]
+		ss.shardMachines[ss.shardOff[s]+cur[s]] = int32(i)
 		cur[s]++
 	}
 
-	r.taskShard = growI32(r.taskShard, n)
+	ss.taskShard = growI32(ss.taskShard, n)
 	for j := 0; j < n; j++ {
-		r.taskShard[j] = r.shardOf[p.Sets[j][0]]
+		ss.taskShard[j] = ss.shardOf[p.Sets[j][0]]
 	}
 }
 
 // find is union-find root lookup with path compression over parent.
-func (r *FlatRunner) find(x int32) int32 {
+func (ss *shardSet) find(x int32) int32 {
 	root := x
-	for r.parent[root] != root {
-		root = r.parent[root]
+	for ss.parent[root] != root {
+		root = ss.parent[root]
 	}
-	for r.parent[x] != root {
-		r.parent[x], x = root, r.parent[x]
+	for ss.parent[x] != root {
+		ss.parent[x], x = root, ss.parent[x]
 	}
 	return root
 }
 
-// partitionTrivial is the degenerate one-shard decomposition Run uses:
-// a single global event loop over all machines, the sequential
-// reference RunSharded is differentially tested against.
-func (r *FlatRunner) partitionTrivial(n, m int) {
-	r.nShards = 1
-	r.shardOf = growI32Zero(r.shardOf, m)
-	r.shardMachines = growI32(r.shardMachines, m)
-	for i := range r.shardMachines {
-		r.shardMachines[i] = int32(i)
+// partitionTrivial is the degenerate one-shard decomposition the
+// sequential entry points use: a single global event loop over all
+// machines, the reference the sharded paths are differentially tested
+// against.
+func (ss *shardSet) partitionTrivial(n, m int) {
+	ss.nShards = 1
+	ss.shardOf = growI32Zero(ss.shardOf, m)
+	ss.shardMachines = growI32(ss.shardMachines, m)
+	for i := range ss.shardMachines {
+		ss.shardMachines[i] = int32(i)
 	}
-	r.shardOff = growI32(r.shardOff, 2)
-	r.shardOff[0], r.shardOff[1] = 0, int32(m)
-	r.taskShard = growI32Zero(r.taskShard, n)
+	ss.shardOff = growI32(ss.shardOff, 2)
+	ss.shardOff[0], ss.shardOff[1] = 0, int32(m)
+	ss.taskShard = growI32Zero(ss.taskShard, n)
+}
+
+// buildTaskOffsets fills shardTaskOff with per-shard task-count prefix
+// sums: shard s owns tasks [shardTaskOff[s], shardTaskOff[s+1]) of any
+// shard-grouped task CSR. Requires taskShard to be populated.
+func (ss *shardSet) buildTaskOffsets(n int) {
+	ss.shardTaskOff = growI32Zero(ss.shardTaskOff, ss.nShards+1)
+	for j := 0; j < n; j++ {
+		ss.shardTaskOff[ss.taskShard[j]+1]++
+	}
+	for s := 0; s < ss.nShards; s++ {
+		ss.shardTaskOff[s+1] += ss.shardTaskOff[s]
+	}
+}
+
+// buildTaskLists fills shardTasks, the CSR (with buildTaskOffsets'
+// offsets) listing each shard's tasks in ascending task ID. Ascending
+// IDs matter to the open engine: arrival times are indexed by task ID
+// and non-decreasing, so each shard's slice is already its arrival
+// stream. The parent prefix is recycled as the fill cursor (the
+// union-find is never consulted again after partition).
+func (ss *shardSet) buildTaskLists(n int) {
+	cur := growI32Zero(ss.parent, ss.nShards)
+	ss.parent = cur[:0]
+	ss.shardTasks = growI32(ss.shardTasks, n)
+	for j := 0; j < n; j++ {
+		s := ss.taskShard[j]
+		ss.shardTasks[ss.shardTaskOff[s]+cur[s]] = int32(j)
+		cur[s]++
+	}
 }
 
 // PartitionShards exposes the shard decomposition for property tests
@@ -170,15 +230,15 @@ func PartitionShards(p *placement.Placement) (machineShard, taskShard []int, nSh
 	if err := placement.CheckSets(p.Sets, p.M); err != nil {
 		return nil, nil, 0, err
 	}
-	var r FlatRunner
-	r.partition(p)
+	var ss shardSet
+	ss.partition(p)
 	machineShard = make([]int, p.M)
-	for i, s := range r.shardOf {
+	for i, s := range ss.shardOf {
 		machineShard[i] = int(s)
 	}
 	taskShard = make([]int, p.N())
-	for j, s := range r.taskShard {
+	for j, s := range ss.taskShard {
 		taskShard[j] = int(s)
 	}
-	return machineShard, taskShard, r.nShards, nil
+	return machineShard, taskShard, ss.nShards, nil
 }

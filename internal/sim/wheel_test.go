@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tick"
+)
+
+// wheelModel is the oracle for the wheel fuzz: a plain slice with
+// linear minimum extraction. Same multiset semantics, no tiers.
+type wheelModel []wEvent
+
+func (m *wheelModel) push(ev wEvent) { *m = append(*m, ev) }
+
+// popMin removes and returns an entry with the minimum (t, machine)
+// key, preferring one matching seq (the wheel may emit duplicates of
+// an equal key in either order; seq disambiguates the assertion).
+func (m *wheelModel) popMin(matchSeq uint32) wEvent {
+	h := *m
+	best := 0
+	for i := 1; i < len(h); i++ {
+		if wLess(h[i], h[best]) ||
+			(!wLess(h[best], h[i]) && h[i].seq == matchSeq && h[best].seq != matchSeq) {
+			best = i
+		}
+	}
+	ev := h[best]
+	h[best] = h[len(h)-1]
+	*m = h[:len(h)-1]
+	return ev
+}
+
+// wheelTime draws a timestamp in one of three regimes so every tier of
+// the wheel is exercised: near the current bucket (active), within the
+// ring horizon, and far beyond it (overflow; also forces the
+// empty-ring jump when such an event is next).
+func wheelTime(r *rng.Source, base tick.Tick, shift uint) tick.Tick {
+	span := tick.Tick(1) << shift
+	switch r.Intn(4) {
+	case 0: // at or near the current bucket
+		return base + tick.Tick(r.Intn(int(span)+1))
+	case 1, 2: // inside the ring horizon
+		return base + tick.Tick(r.Intn(int(span)*wheelBuckets+1))
+	default: // beyond the horizon: overflow tier
+		return base + tick.Tick(wheelBuckets)*span + tick.Tick(r.Intn(1<<20))
+	}
+}
+
+// runWheelOps drives an openWheel and the oracle through the same
+// random op sequence, checking pop-order totality, the seq-liveness
+// rule, and size bookkeeping. Shared by the fuzz target and the
+// deterministic coverage test.
+func runWheelOps(t *testing.T, ops int, shift uint, seed uint64) {
+	t.Helper()
+	const machines = 7
+	r := rng.New(seed)
+	var w openWheel
+	w.reset(shift)
+	var model wheelModel
+	// Caller-side sequence counters and the latest pushed event per
+	// machine: when a live event pops, it must be exactly the machine's
+	// most recent push (everything older was invalidated or popped).
+	var seqNow [machines]uint32
+	var last [machines]wEvent
+	var clock tick.Tick // lower bound for new pushes, as in the runner
+
+	for op := 0; op < ops; op++ {
+		if w.empty() != (len(model) == 0) || w.size != len(model) {
+			t.Fatalf("op %d: size %d (empty=%v), model %d", op, w.size, w.empty(), len(model))
+		}
+		if w.empty() || r.Intn(3) > 0 {
+			m := int32(r.Intn(machines))
+			// The runner's wake discipline: every push bumps the
+			// machine's counter, so any prior entry for m goes stale —
+			// at most one live entry per machine at any time.
+			seqNow[m]++
+			ev := wEvent{t: wheelTime(r, clock, shift), m: m, seq: seqNow[m]}
+			w.push(ev)
+			model.push(ev)
+			last[m] = ev
+			continue
+		}
+		if r.Intn(2) == 0 {
+			got := w.peek()
+			if want := model.popMin(got.seq); got != want {
+				t.Fatalf("op %d: peek %+v, model min %+v", op, got, want)
+			} else {
+				model.push(want) // peek does not consume
+			}
+			continue
+		}
+		got := w.pop()
+		want := model.popMin(got.seq)
+		if got != want {
+			t.Fatalf("op %d: pop %+v, model min %+v", op, got, want)
+		}
+		if got.t > clock {
+			clock = got.t
+		}
+		if got.seq == seqNow[got.m] && got != last[got.m] {
+			t.Fatalf("op %d: live pop %+v is not machine %d's latest push %+v",
+				op, got, got.m, last[got.m])
+		}
+	}
+	// Drain: the remaining pops must come out in full (t, machine)
+	// order.
+	prev := wEvent{t: -1, m: -1}
+	for !w.empty() {
+		got := w.pop()
+		if want := model.popMin(got.seq); got != want {
+			t.Fatalf("drain: pop %+v, model min %+v", got, want)
+		}
+		if wLess(got, prev) {
+			t.Fatalf("drain: pop %+v after %+v breaks (t, machine) order", got, prev)
+		}
+		prev = got
+	}
+	if len(model) != 0 {
+		t.Fatalf("wheel drained with %d events left in the model", len(model))
+	}
+}
+
+// FuzzOpenWheel fuzzes the calendar-queue invariants of the open
+// engine's event structure: pops follow the total (t, machine) order
+// across all three tiers (active heap, ring bucket, overflow heap —
+// including the empty-ring jump), seq-invalidated entries surface as
+// stale exactly once, and size bookkeeping matches a flat oracle under
+// arbitrary push/peek/pop interleavings.
+func FuzzOpenWheel(f *testing.F) {
+	f.Add(uint16(64), uint8(0), uint64(1))
+	f.Add(uint16(300), uint8(10), uint64(2))
+	f.Add(uint16(200), uint8(20), uint64(0xfeed))
+	f.Add(uint16(500), uint8(4), uint64(42))
+	f.Add(uint16(31), uint8(62), uint64(7)) // max shift: every event in bucket 0
+	f.Fuzz(func(t *testing.T, opsRaw uint16, shiftRaw uint8, seed uint64) {
+		ops := 1 + int(opsRaw)%600
+		shift := uint(shiftRaw) % 24
+		runWheelOps(t, ops, shift, seed)
+	})
+}
+
+// TestOpenWheelOrdering is the deterministic slice of the fuzz
+// property, so plain go test covers all three tiers without -fuzz.
+func TestOpenWheelOrdering(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		for _, shift := range []uint{0, 3, 10, 20} {
+			runWheelOps(t, 400, shift, 1000+seed)
+		}
+	}
+}
+
+// TestOpenWheelReuse pins the pooling contract: a wheel reused across
+// reset cycles behaves identically to a fresh one.
+func TestOpenWheelReuse(t *testing.T) {
+	var w openWheel
+	for round := 0; round < 3; round++ {
+		w.reset(5)
+		r := rng.New(uint64(round))
+		for i := 0; i < 200; i++ {
+			w.push(wEvent{t: tick.Tick(r.Intn(1 << 16)), m: int32(i % 9), seq: uint32(i)})
+		}
+		prev := wEvent{t: -1, m: -1}
+		for !w.empty() {
+			ev := w.pop()
+			if wLess(ev, prev) {
+				t.Fatalf("round %d: pop %+v after %+v out of order", round, ev, prev)
+			}
+			prev = ev
+		}
+	}
+}
+
+func TestWheelShift(t *testing.T) {
+	cases := []struct {
+		mean tick.Tick
+		want uint
+	}{
+		{0, 0},
+		{15, 0},  // mean/16 < 1: minimum bucket
+		{16, 0},  // w=1: still the minimum
+		{64, 2},  // w=4 → shift 2
+		{1 << 30, 26},
+		{tick.Max, 58}, // Max/16 = 2^59−1: halves to 1 after 58 shifts
+	}
+	for _, c := range cases {
+		if got := wheelShift(c.mean); got != c.want {
+			t.Errorf("wheelShift(%d) = %d, want %d", c.mean, got, c.want)
+		}
+	}
+}
